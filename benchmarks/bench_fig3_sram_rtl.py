@@ -1,0 +1,105 @@
+"""Fig. 3: the 32x10 bit 1R1W SRAM built from two stacked 16x10 bricks.
+
+Reproduces the paper's canonical RTL example end-to-end: the structural
+design (two stacked bricks + twin 5-to-32 standard-cell decoders), its
+Verilog rendering, functional verification against a reference memory
+model, and the full physical synthesis flow on it.
+"""
+
+import random
+
+import pytest
+
+from bench_util import print_table
+from repro.bricks import generate_brick_library, sram_brick
+from repro.rtl import LogicSimulator, elaborate, emit_module, fig3_sram
+from repro.synth import run_flow
+from repro.units import MHZ, PJ
+
+
+@pytest.fixture(scope="module")
+def fig3(tech, stdlib):
+    module, config = fig3_sram()
+    bricks, gen_seconds = generate_brick_library(
+        [(config.brick, config.stack)], tech)
+    library = stdlib.merged_with(bricks)
+    flat = elaborate(module, library)
+
+    def stimulus(sim):
+        rng = random.Random(3)
+        for _ in range(100):
+            sim.set_input("raddr", rng.randrange(32))
+            sim.set_input("waddr", rng.randrange(32))
+            sim.set_input("din", rng.randrange(1024))
+            sim.set_input("we", 1)
+            sim.clock()
+
+    flow = run_flow(module, library, tech, stimulus=stimulus,
+                    anneal_moves=2000)
+    return module, config, library, flat, flow, gen_seconds
+
+
+def test_fig3_structure_report(benchmark, fig3):
+    module, config, library, flat, flow, gen_seconds = fig3
+    benchmark.pedantic(lambda: flat.stats(), rounds=1, iterations=1)
+    stats = flat.stats()
+    print_table(
+        "Fig. 3 — 32x10b 1R1W SRAM from two stacked 16x10b bricks",
+        ("metric", "value"),
+        [
+            ("brick macro", "brick_16_10_s2 (one 2x-stacked bank)"),
+            ("std cells", stats["combinational"]),
+            ("nets", stats["nets"]),
+            ("brick library gen", f"{gen_seconds * 1e3:.1f} ms"),
+            ("fmax", f"{flow.fmax / MHZ:.0f} MHz"),
+            ("energy/access", f"{flow.power.energy_per_cycle / PJ:.2f} pJ"),
+            ("die area", f"{flow.area_um2:.0f} um^2"),
+        ])
+    assert stats["bricks"] == 1
+    assert stats["combinational"] > 80  # two 5->32 decoders dominate
+
+
+def test_fig3_verilog_matches_papers_listing_shape(benchmark, fig3):
+    module, *_ = fig3
+    text = benchmark.pedantic(lambda: emit_module(module), rounds=1,
+                              iterations=1)
+    # The constructs the paper's listing shows: brick instantiation by
+    # name, decoders, 1R1W port structure.
+    assert "brick_16_10_s2" in text
+    assert "input [4:0] raddr" in text
+    assert "input [4:0] waddr" in text
+    assert "NAND" in text or "AND" in text
+    print("\nFig. 3 Verilog (first 12 lines):")
+    print("\n".join(text.splitlines()[:12]))
+
+
+def test_fig3_functional_equivalence(benchmark, fig3):
+    """Random-traffic equivalence against a dict-based memory model."""
+    module, config, library, *_ = fig3
+
+    def kernel():
+        sim = LogicSimulator(elaborate(module, library))
+        rng = random.Random(11)
+        model = {}
+        for _ in range(200):
+            ra, wa = rng.randrange(32), rng.randrange(32)
+            di, we = rng.randrange(1024), rng.random() < 0.5
+            sim.set_input("raddr", ra)
+            sim.set_input("waddr", wa)
+            sim.set_input("din", di)
+            sim.set_input("we", int(we))
+            sim.clock()
+            expect = model.get(ra)
+            if expect is not None:
+                assert sim.get_output("dout") == expect
+            if we:
+                model[wa] = di
+        return True
+
+    assert benchmark.pedantic(kernel, rounds=1, iterations=1)
+
+
+def test_benchmark_elaboration(benchmark, fig3):
+    module, config, library, *_ = fig3
+    flat = benchmark(lambda: elaborate(module, library))
+    assert flat.stats()["bricks"] == 1

@@ -1,0 +1,25 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Each benchmark module regenerates one table or figure of the paper
+(see DESIGN.md's experiment index), printing the rows it reproduces and
+asserting the paper's qualitative claims.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cells import make_stdcell_library
+from repro.tech import cmos65
+
+
+@pytest.fixture(scope="session")
+def tech():
+    return cmos65()
+
+
+@pytest.fixture(scope="session")
+def stdlib(tech):
+    return make_stdcell_library(tech)

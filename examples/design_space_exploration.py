@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Design-space exploration: regenerate Fig. 4c and go further.
+
+The paper's headline usability result is that dynamically generated brick
+libraries make system-level memory exploration essentially free.  This
+example:
+
+1. sweeps the paper's 9-brick grid (128x{8,16,32}b from 16/32/64-word
+   bricks) and prints the normalized trends of Fig. 4c,
+2. extracts the delay/energy/area pareto front and its knee,
+3. runs the Section 6 *future work* — automatic brick selection — for a
+   few memory requirements,
+4. sweeps a finer grid ("the same analysis can be done over a finer
+   resolution of row numbers and bit length without any design cost").
+
+Run:  python examples/design_space_exploration.py
+"""
+
+import time
+
+from repro.explore import (
+    knee_point,
+    optimize_brick_selection,
+    pareto_front,
+    sweep_partitions,
+)
+from repro.tech import cmos65
+from repro.units import PJ, PS
+
+
+def print_sweep(result, reference):
+    header = (f"{'memory':>10s} {'brick':>10s} {'delay':>9s} "
+              f"{'energy':>10s} {'area':>10s} {'nD':>5s} {'nE':>5s} "
+              f"{'nA':>5s}")
+    print(header)
+    print("-" * len(header))
+    for p in sorted(result.points, key=lambda p: (p.bits,
+                                                  p.brick_words)):
+        norm = p.normalized(reference)
+        print(f"{'128x%db' % p.bits:>10s} "
+              f"{'%dx%db' % (p.brick_words, p.bits):>10s} "
+              f"{p.read_delay / PS:>7.0f}ps "
+              f"{p.read_energy / PJ:>8.3f}pJ "
+              f"{p.area_um2:>7.0f}um2 "
+              f"{norm['delay']:>5.2f} {norm['energy']:>5.2f} "
+              f"{norm['area']:>5.2f}")
+
+
+def main() -> None:
+    tech = cmos65()
+
+    # --- 1. the paper's grid ------------------------------------------------
+    start = time.perf_counter()
+    result = sweep_partitions(tech)
+    elapsed = time.perf_counter() - start
+    print(f"Fig. 4c sweep: 9 bricks explored in {elapsed * 1e3:.0f} ms "
+          f"(paper: 'within 2 seconds')\n")
+    print_sweep(result, result.point(128, 8, 16))
+
+    # --- 2. pareto front -------------------------------------------------------
+    metrics = lambda p: (p.read_delay, p.read_energy, p.area_um2)
+    front = pareto_front(result.points, metrics)
+    knee = knee_point(result.points, metrics)
+    print(f"\npareto-optimal designs ({len(front)} of "
+          f"{len(result.points)}):")
+    for p in front:
+        marker = "  <- knee" if p is knee else ""
+        print(f"  {p.label}{marker}")
+
+    # --- 3. Section 6 future work: automatic brick selection -----------------
+    print("\nautomatic brick selection (Section 6 future work):")
+    for words, bits in [(128, 8), (128, 32), (256, 16), (512, 8)]:
+        fast = optimize_brick_selection(
+            tech, words, bits, delay_weight=4.0, energy_weight=0.5,
+            area_weight=0.25)
+        frugal = optimize_brick_selection(
+            tech, words, bits, delay_weight=0.5, energy_weight=3.0,
+            area_weight=1.0)
+        print(f"  {words}x{bits}b: speed-first -> "
+              f"{fast.point.brick_words}-word bricks, "
+              f"energy-first -> {frugal.point.brick_words}-word bricks")
+
+    # --- 4. finer-resolution sweep (non-multiple-of-8 geometries) ------------
+    start = time.perf_counter()
+    fine = sweep_partitions(
+        tech,
+        total_words_options=(96,),
+        bits_options=(6, 10, 12, 24),
+        brick_words_options=(8, 12, 16, 24, 32, 48),
+    )
+    elapsed = time.perf_counter() - start
+    print(f"\nfiner sweep: {len(fine.points)} unconventional geometries "
+          f"(non-multiple-of-8 rows/bits) in {elapsed * 1e3:.0f} ms")
+    best = knee_point(fine.points, metrics)
+    print(f"  knee design: {best.label} "
+          f"({best.read_delay / PS:.0f} ps, "
+          f"{best.read_energy / PJ:.3f} pJ, {best.area_um2:.0f} um2)")
+
+
+if __name__ == "__main__":
+    main()

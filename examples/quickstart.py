@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Quickstart: compile a memory brick and synthesize Fig. 3's SRAM.
+
+Walks the paper's flow end to end in under a minute:
+
+1. compile the canonical 16x10 bit 8T memory brick and estimate it,
+2. generate its library model (the dynamic .lib of Section 3),
+3. build the Fig. 3 RTL — a 32x10 bit 1R1W SRAM from two stacked
+   bricks plus standard-cell decoders,
+4. run physical synthesis (floorplan, place, route, STA, power),
+5. print the timing/power/area report and a Verilog snippet.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro.bricks import (
+    compile_brick,
+    estimate_brick,
+    generate_brick_library,
+    generate_layout,
+    sram_brick,
+)
+from repro.cells import make_stdcell_library
+from repro.rtl import emit_module, fig3_sram
+from repro.synth import flow_report, run_flow
+from repro.tech import cmos65
+from repro.units import format_si
+
+
+def main() -> None:
+    tech = cmos65()
+    print(f"technology: {tech.name} (Vdd = {tech.vdd} V, "
+          f"FO4 = {format_si(tech.fo4_delay(), 's')})")
+
+    # --- 1. compile and estimate one brick --------------------------------
+    spec = sram_brick(16, 10)
+    compiled = compile_brick(spec, tech, target_stack=2)
+    est = estimate_brick(compiled, tech, stack=2)
+    layout = generate_layout(compiled, tech)
+    print(f"\nbrick {spec.name} (2x stacked bank):")
+    print(f"  read critical path : {format_si(est.read_delay, 's')}")
+    print(f"  read energy        : {format_si(est.read_energy, 'J')}")
+    print(f"  write energy       : {format_si(est.write_energy, 'J')}")
+    print(f"  brick area         : {layout.area_um2:.1f} um^2 "
+          f"(array efficiency {layout.array_efficiency:.0%})")
+
+    # --- 2. dynamic brick library ------------------------------------------
+    bricks, elapsed = generate_brick_library([(spec, 2)], tech)
+    print(f"\nbrick library generated in {elapsed * 1e3:.1f} ms "
+          f"(the paper generates nine in under two seconds)")
+
+    # --- 3. the Fig. 3 design ------------------------------------------------
+    module, config = fig3_sram()
+    print(f"\nFig. 3 design: {config.describe()}")
+    verilog = emit_module(module)
+    print("structural Verilog (first 10 lines):")
+    for line in verilog.splitlines()[:10]:
+        print("  " + line)
+
+    # --- 4. full physical synthesis ------------------------------------------
+    library = make_stdcell_library(tech).merged_with(bricks)
+
+    def stimulus(sim):
+        rng = random.Random(1)
+        for _ in range(100):
+            sim.set_input("raddr", rng.randrange(32))
+            sim.set_input("waddr", rng.randrange(32))
+            sim.set_input("din", rng.randrange(1024))
+            sim.set_input("we", 1)
+            sim.clock()
+
+    result = run_flow(module, library, tech, stimulus=stimulus)
+
+    # --- 5. reports -------------------------------------------------------------
+    print()
+    print(flow_report(result))
+
+
+if __name__ == "__main__":
+    main()

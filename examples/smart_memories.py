@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""The Section 2.2 smart-memory gallery.
+
+Two application-specific smart memories the paper cites as precursors of
+the LiM methodology, rebuilt on this package's substrates:
+
+1. the parallel-access memory of reference [7] — single-cycle m x n
+   window access into a K x L pixel array, with the shared-decoder
+   energy win quantified from our brick models;
+2. the LiM interpolation seed table of reference [13] — a coarse seed
+   table plus embedded bilinear interpolation standing in for a dense
+   table, demonstrated on the polar-to-rectangular resampling kernel of
+   Synthetic Aperture Radar processing.
+
+Run:  python examples/smart_memories.py
+"""
+
+import math
+
+import numpy as np
+
+from repro.smartmem import (
+    InterpolationMemory,
+    ParallelAccessMemory,
+    WindowGeometry,
+    access_cost_comparison,
+    build_seed_table,
+    max_interpolation_error,
+    polar_to_rect_resample,
+    storage_saving,
+)
+from repro.tech import cmos65
+from repro.units import format_si
+
+
+def parallel_access_demo(tech) -> None:
+    print("=" * 64)
+    print("1. Parallel-access memory [7]: 64x64 pixels, 4x4 windows")
+    print("=" * 64)
+    geometry = WindowGeometry(64, 64, 4, 4)
+    memory = ParallelAccessMemory(geometry)
+    rng = np.random.default_rng(7)
+    image = rng.integers(0, 1024, size=(64, 64))
+    memory.write_image(image)
+
+    # Any window, aligned or not, in one access.
+    for top, left in [(0, 0), (13, 27), (60, 60)]:
+        window = memory.read_window(top, left)
+        assert np.array_equal(window,
+                              image[top:top + 4, left:left + 4])
+    print(f"window reads performed : {memory.window_reads} "
+          f"(all verified, all single-cycle / conflict-free)")
+
+    costs = access_cost_comparison(geometry, tech)
+    print(f"conventional banked design : "
+          f"{costs['conventional_decoders']:.0f} decoders, "
+          f"{format_si(costs['conventional_energy'], 'J')}/window")
+    print(f"smart shared-decoder design: "
+          f"{costs['smart_decoders']:.0f} decoders, "
+          f"{format_si(costs['smart_energy'], 'J')}/window")
+    print(f"energy saving              : "
+          f"{costs['energy_saving']:.0%}  (the [7] result)")
+
+
+def interpolation_demo() -> None:
+    print()
+    print("=" * 64)
+    print("2. LiM interpolation memory [13]: seed table + on-the-fly "
+          "bilinear")
+    print("=" * 64)
+    func = lambda x, y: 2.0 + math.sin(x) * math.cos(y)
+    dense_points = 129 * 129
+    seeds = build_seed_table(func, 17, 17, stride=0.2)
+    memory = InterpolationMemory(seeds, frac_bits=12)
+    error = max_interpolation_error(func, memory, stride=0.2,
+                                    samples=500)
+    print(f"dense table it replaces : {dense_points} entries")
+    print(f"seed table stored       : {seeds.size} entries "
+          f"({storage_saving(dense_points, seeds.size):.0%} storage "
+          f"saved)")
+    print(f"max interpolation error : {error:.4f} "
+          f"(function range ~[1, 3])")
+    print(f"accesses: {memory.stats.seed_reads} window reads, "
+          f"{memory.stats.interpolations} interpolations")
+
+    # The SAR kernel: polar -> rectangular grid conversion.
+    n_r, n_t = 17, 17
+    polar = np.array([[1.0 + r / (n_r - 1) * (1 + 0.1 *
+                                              math.cos(3 * t))
+                       for t in np.linspace(0, math.pi / 2, n_t)]
+                      for r in range(n_r)])
+    rect, stats = polar_to_rect_resample(polar, out_size=24)
+    covered = np.count_nonzero(rect)
+    print(f"\npolar->rect resampling  : {covered} output pixels, "
+          f"{stats.seed_reads} single-cycle window accesses "
+          f"(1 per pixel — the data is served 'as if readily stored')")
+
+
+def main() -> None:
+    tech = cmos65()
+    parallel_access_demo(tech)
+    interpolation_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Reproduction of *A Synthesis Methodology for Application-Specific
+Logic-in-Memory Designs* (Sumbul, Vaidyanathan, Zhu, Franchetti, Pileggi
+— DAC 2015).
+
+The package implements the paper's full stack in pure Python:
+
+``repro.tech``
+    Parametric technology models, PVT corners and the restrictive-
+    patterning (pattern-construct) checker behind Fig. 1.
+``repro.circuit``
+    Logical effort, Elmore/RC engines, the gate catalog and a
+    switch-level transient simulator — the "SPICE" reference of Table 1.
+``repro.cells``
+    Bitcells (6T/8T/CAM/eDRAM/dual-port), the brick leaf cells, and a
+    characterized standard-cell library.
+``repro.liberty``
+    NLDM lookup tables, cell/library models and a Liberty (.lib) writer.
+``repro.bricks``
+    The paper's core contribution: the memory-brick compiler, layout
+    generator, RC extractor, closed-form performance estimator and
+    dynamic library generation (Table 1, Fig. 4c).
+``repro.rtl``
+    A structural RTL layer (modules, generators, smart-memory builders),
+    an event-driven logic simulator, and a Verilog emitter (Fig. 3).
+``repro.synth``
+    Physical synthesis: floorplan, placement, routing estimation, STA
+    and activity-based power — the conventional flow bricks plug into.
+``repro.explore``
+    Design-space exploration, pareto fronts, and parameterized design
+    generation (Fig. 4c plus the Section 6 future-work optimizer).
+``repro.silicon``
+    Process-variation "silicon" emulation of the Fig. 4a test chip.
+``repro.spgemm``
+    The application: sparse matrices, the CAM-based LiM SpGEMM
+    accelerator and the heap/FIFO baseline, with calibrated chip energy
+    models (Fig. 5, Fig. 6).
+
+Quick start::
+
+    from repro.tech import cmos65
+    from repro.bricks import sram_brick, compile_brick, estimate_brick
+
+    tech = cmos65()
+    brick = compile_brick(sram_brick(16, 10), tech, target_stack=1)
+    print(estimate_brick(brick, tech).read_delay)   # ~247 ps
+"""
+
+from . import (
+    bricks,
+    cells,
+    circuit,
+    explore,
+    liberty,
+    rtl,
+    silicon,
+    smartmem,
+    spgemm,
+    synth,
+    tech,
+)
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "bricks", "cells", "circuit", "explore", "liberty", "rtl",
+    "silicon", "smartmem", "spgemm", "synth", "tech", "ReproError",
+    "__version__",
+]

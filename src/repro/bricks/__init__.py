@@ -1,0 +1,29 @@
+"""Memory brick compiler: the paper's core contribution."""
+
+from .compiler import CompiledBrick, MatchPeriphery, compile_brick
+from .estimator import BrickPerformance, estimate_brick
+from .extract import (
+    BrickTestbench,
+    build_match_testbench,
+    build_read_testbench,
+    build_write_testbench,
+    measure_match,
+    measure_read,
+    measure_write,
+)
+from .layout import BrickLayout, PinShape, Rect, generate_layout
+from .library import bank_cell_name, brick_cell_model, generate_brick_library
+from .spec import BrickSpec, cam_brick, sram_brick
+from .stack import BankConfig, partitioned, single_partition
+
+__all__ = [
+    "CompiledBrick", "MatchPeriphery", "compile_brick",
+    "BrickPerformance", "estimate_brick",
+    "BrickTestbench", "build_read_testbench", "build_write_testbench",
+    "build_match_testbench", "measure_match", "measure_read",
+    "measure_write",
+    "BrickLayout", "PinShape", "Rect", "generate_layout",
+    "BrickSpec", "cam_brick", "sram_brick",
+    "bank_cell_name", "brick_cell_model", "generate_brick_library",
+    "BankConfig", "partitioned", "single_partition",
+]

@@ -1,0 +1,37 @@
+"""Cell substrate: bitcells, brick leaf cells, standard-cell library."""
+
+from .bitcells import (
+    CAM_10T,
+    DUAL_PORT_8T,
+    EDRAM_1T1C,
+    MEMORY_TYPES,
+    SRAM_6T,
+    SRAM_8T,
+    Bitcell,
+    bitcell_catalog,
+    make_bitcell,
+)
+from .leafcells import (
+    ControlBlock,
+    LocalSense,
+    WordlineDriver,
+    build_inverter,
+    inverter_widths,
+)
+from .stdcells import (
+    DEFAULT_DRIVES,
+    cell_name,
+    make_stdcell,
+    make_stdcell_library,
+    pick_drive,
+    unit_input_cap,
+)
+
+__all__ = [
+    "CAM_10T", "DUAL_PORT_8T", "EDRAM_1T1C", "MEMORY_TYPES", "SRAM_6T",
+    "SRAM_8T", "Bitcell", "bitcell_catalog", "make_bitcell",
+    "ControlBlock", "LocalSense", "WordlineDriver", "build_inverter",
+    "inverter_widths",
+    "DEFAULT_DRIVES", "cell_name", "make_stdcell", "make_stdcell_library",
+    "pick_drive", "unit_input_cap",
+]

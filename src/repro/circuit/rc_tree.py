@@ -1,0 +1,150 @@
+"""RC trees and Elmore delay.
+
+The closed-form side of the brick estimator ("a formulized circuit design
+methodology based on logical effort calculations and RC delay estimations",
+Section 3) models every wire — wordlines, local read bitlines, array read
+bitlines — as an RC tree driven through a driver resistance.  The Elmore
+delay of such a tree is the first moment of its impulse response and the
+standard estimation currency of physical synthesis tools.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..errors import NetlistError
+from ..tech.wire import WireLayer
+
+
+@dataclass
+class RCNode:
+    """One node of an RC tree."""
+
+    name: str
+    cap: float = 0.0
+    parent: Optional[str] = None
+    r_to_parent: float = 0.0
+    children: List[str] = field(default_factory=list)
+
+
+class RCTree:
+    """A grounded-capacitor RC tree rooted at a driver.
+
+    The root represents the driver output; ``r_drive`` is the (linearized)
+    driver resistance in series before the root.  Elmore delay from the
+    driver input to any node is then exact for this topology.
+    """
+
+    def __init__(self, root: str = "root", r_drive: float = 0.0,
+                 root_cap: float = 0.0):
+        if r_drive < 0 or root_cap < 0:
+            raise NetlistError("driver resistance and root cap must be >= 0")
+        self.root = root
+        self.r_drive = r_drive
+        self.nodes: Dict[str, RCNode] = {
+            root: RCNode(root, cap=root_cap)
+        }
+
+    def add(self, name: str, parent: str, resistance: float,
+            cap: float = 0.0) -> None:
+        """Attach node ``name`` to ``parent`` through ``resistance``."""
+        if name in self.nodes:
+            raise NetlistError(f"duplicate RC node {name!r}")
+        if parent not in self.nodes:
+            raise NetlistError(f"unknown parent node {parent!r}")
+        if resistance < 0 or cap < 0:
+            raise NetlistError("resistance and capacitance must be >= 0")
+        self.nodes[name] = RCNode(name, cap=cap, parent=parent,
+                                  r_to_parent=resistance)
+        self.nodes[parent].children.append(name)
+
+    def add_cap(self, name: str, cap: float) -> None:
+        """Add extra grounded capacitance at an existing node."""
+        if cap < 0:
+            raise NetlistError("capacitance must be >= 0")
+        try:
+            self.nodes[name].cap += cap
+        except KeyError as exc:
+            raise NetlistError(f"unknown RC node {name!r}") from exc
+
+    def add_ladder(self, parent: str, prefix: str,
+                   segments: Iterable[Tuple[float, float]],
+                   tail_cap: float = 0.0) -> str:
+        """Append an RC ladder (e.g. a distributed wire) under ``parent``.
+
+        ``segments`` is an iterable of ``(r, c)`` pairs as produced by
+        :meth:`repro.tech.wire.WireLayer.segments`.  Returns the name of the
+        final ladder node, to which ``tail_cap`` is added.
+        """
+        last = parent
+        index = 0
+        for index, (r_seg, c_seg) in enumerate(segments):
+            node = f"{prefix}{index}"
+            self.add(node, last, r_seg, c_seg)
+            last = node
+        if last == parent:
+            raise NetlistError("RC ladder needs at least one segment")
+        if tail_cap:
+            self.add_cap(last, tail_cap)
+        return last
+
+    def total_cap(self) -> float:
+        """Sum of all grounded capacitance in the tree (for CV^2 energy)."""
+        return sum(node.cap for node in self.nodes.values())
+
+    def _downstream_caps(self) -> Dict[str, float]:
+        """Capacitance at-and-below each node, by post-order accumulation."""
+        order = self._topological_order()
+        downstream = {name: self.nodes[name].cap for name in self.nodes}
+        for name in reversed(order):
+            node = self.nodes[name]
+            if node.parent is not None:
+                downstream[node.parent] += downstream[name]
+        return downstream
+
+    def _topological_order(self) -> List[str]:
+        order: List[str] = []
+        stack = [self.root]
+        while stack:
+            name = stack.pop()
+            order.append(name)
+            stack.extend(self.nodes[name].children)
+        if len(order) != len(self.nodes):
+            raise NetlistError("RC tree contains unreachable nodes")
+        return order
+
+    def elmore(self, sink: str) -> float:
+        """Elmore delay in seconds from the driver input to ``sink``.
+
+        Sum over every resistor on the root->sink path of the resistance
+        times the capacitance downstream of it, plus the driver resistance
+        times the whole tree capacitance.
+        """
+        if sink not in self.nodes:
+            raise NetlistError(f"unknown RC node {sink!r}")
+        downstream = self._downstream_caps()
+        delay = self.r_drive * downstream[self.root]
+        name = sink
+        while name != self.root:
+            node = self.nodes[name]
+            delay += node.r_to_parent * downstream[name]
+            name = node.parent
+        return delay
+
+    def delay_50(self, sink: str) -> float:
+        """50 %-crossing delay estimate: ``ln(2)`` times the Elmore delay."""
+        return 0.69 * self.elmore(sink)
+
+    def slew_estimate(self, sink: str) -> float:
+        """10-90 % output transition time estimate (~2.2 Elmore)."""
+        return 2.2 * self.elmore(sink)
+
+
+def wire_tree(layer: WireLayer, length_um: float, r_drive: float,
+              c_load: float, n_segments: int = 8) -> RCTree:
+    """Convenience builder: a single distributed wire with a far-end load."""
+    tree = RCTree(r_drive=r_drive)
+    tree.add_ladder("root", "w", layer.segments(length_um, n_segments),
+                    tail_cap=c_load)
+    return tree

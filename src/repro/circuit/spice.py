@@ -1,0 +1,260 @@
+"""Switch-level transient circuit simulator (the "SPICE" reference).
+
+Table 1 of the paper validates the brick estimator against "SPICE
+simulations with RC extracted bitcell array layouts".  This module plays
+the SPICE role: it numerically integrates the extracted RC network with
+voltage-controlled-switch MOS models using backward Euler on the nodal
+equations.  It shares *device parameters* with the closed-form estimator
+(both read :class:`repro.tech.Technology`) but none of its closed forms —
+Elmore delay, logical-effort sizing and the CV^2 energy bookkeeping are
+never consulted here — so the tool-vs-reference error is a genuine
+measurement of the estimator's approximations.
+
+Numerical scheme
+----------------
+Nodal analysis with grounded-and-coupling capacitors:
+
+    C dv/dt + G(v) v = 0,     driven nodes pinned by ideal sources.
+
+Backward Euler with device conductances evaluated at the previous step
+(semi-implicit; unconditionally stable for this RC class, accurate for the
+small steps used).  The Jacobian is refactorized only when a device
+conductance moved materially, which makes the quiescent majority of each
+transient cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+from scipy.linalg import lu_factor, lu_solve
+
+from ..errors import SimulationError
+from ..tech.technology import Technology
+from ..tech.transistor import NMOS, Transistor
+from .netlist import GND, SpiceCircuit
+from .waveform import Waveform
+
+_GMIN = 1e-12  # universal leak conductance for numerical conditioning
+
+
+@dataclass
+class TransientResult:
+    """Waveforms and supply-energy bookkeeping from one transient run."""
+
+    t: np.ndarray
+    voltages: Dict[str, np.ndarray]
+    source_energy: Dict[str, float]
+    source_charge: Dict[str, float]
+    source_energy_history: Dict[str, np.ndarray]
+
+    def waveform(self, node: str) -> Waveform:
+        try:
+            return Waveform(self.t, self.voltages[node])
+        except KeyError as exc:
+            raise SimulationError(f"node {node!r} was not recorded") from exc
+
+    def energy(self, source_name: str) -> float:
+        """Energy delivered by a named source over the run (joules)."""
+        try:
+            return self.source_energy[source_name]
+        except KeyError as exc:
+            raise SimulationError(
+                f"unknown source {source_name!r}") from exc
+
+    def energy_in_window(self, source_name: str, t0: float,
+                         t1: float) -> float:
+        """Energy delivered by a source between times ``t0`` and ``t1``."""
+        try:
+            history = self.source_energy_history[source_name]
+        except KeyError as exc:
+            raise SimulationError(
+                f"unknown source {source_name!r}") from exc
+        e0 = float(np.interp(t0, self.t, history))
+        e1 = float(np.interp(t1, self.t, history))
+        return e1 - e0
+
+    def total_supply_energy(self) -> float:
+        """Energy delivered by all sources with positive net delivery."""
+        return sum(e for e in self.source_energy.values() if e > 0)
+
+
+class TransientSimulator:
+    """Backward-Euler transient simulator over a :class:`SpiceCircuit`."""
+
+    def __init__(self, circuit: SpiceCircuit, tech: Technology):
+        circuit.validate()
+        self.circuit = circuit
+        self.tech = tech
+        self._free = circuit.free_nodes()
+        self._driven = circuit.driven_nodes()
+        self._index: Dict[str, int] = {GND: -1}
+        all_nodes = self._free + sorted(self._driven)
+        for i, node in enumerate(all_nodes):
+            self._index[node] = i
+        self._n_free = len(self._free)
+        self._n_all = len(all_nodes)
+        self._build_static()
+
+    # --- matrix assembly ----------------------------------------------------
+
+    def _build_static(self) -> None:
+        """Assemble the constant C matrix and the static part of G."""
+        n = self._n_all
+        self._cmat = np.zeros((n, n))
+        self._gstatic = np.zeros((n, n))
+        np.fill_diagonal(self._gstatic, _GMIN)
+
+        def stamp(mat: np.ndarray, a: str, b: str, value: float) -> None:
+            ia, ib = self._index[a], self._index[b]
+            if ia >= 0:
+                mat[ia, ia] += value
+            if ib >= 0:
+                mat[ib, ib] += value
+            if ia >= 0 and ib >= 0:
+                mat[ia, ib] -= value
+                mat[ib, ia] -= value
+
+        for cap in self.circuit.capacitors:
+            stamp(self._cmat, cap.a, cap.b, cap.c)
+        for res in self.circuit.resistors:
+            stamp(self._gstatic, res.a, res.b, 1.0 / res.r)
+
+        # MOS parasitic capacitances are part of the extracted network.
+        for mos in self.circuit.mosfets:
+            device = Transistor(mos.kind, mos.w_um)
+            stamp(self._cmat, mos.gate, GND, device.c_gate(self.tech))
+            stamp(self._cmat, mos.drain, GND, device.c_drain(self.tech))
+            stamp(self._cmat, mos.source, GND, device.c_drain(self.tech))
+
+        # Precompute MOS terminal indices for fast conductance stamping.
+        self._mos_devices = [Transistor(m.kind, m.w_um)
+                             for m in self.circuit.mosfets]
+        self._mos_terms = [(self._index[m.gate], self._index[m.drain],
+                            self._index[m.source])
+                           for m in self.circuit.mosfets]
+
+    def _mos_conductances(self, v_all: np.ndarray) -> np.ndarray:
+        """Per-device channel conductance at the given node voltages."""
+        g = np.empty(len(self._mos_devices))
+        for i, (device, (ig, idr, isr)) in enumerate(
+                zip(self._mos_devices, self._mos_terms)):
+            v_g = v_all[ig] if ig >= 0 else 0.0
+            v_d = v_all[idr] if idr >= 0 else 0.0
+            v_s = v_all[isr] if isr >= 0 else 0.0
+            if device.kind == NMOS:
+                drive = v_g - min(v_d, v_s)
+            else:
+                drive = max(v_d, v_s) - v_g
+            g[i] = device.conductance(drive, self.tech)
+        return g
+
+    # --- integration ----------------------------------------------------------
+
+    def run(self, t_stop: float, dt: float,
+            v_init: Optional[Dict[str, float]] = None,
+            refactor_tol: float = 1e-3) -> TransientResult:
+        """Integrate from 0 to ``t_stop`` with fixed step ``dt``.
+
+        ``v_init`` supplies initial conditions for free nodes (default 0 V).
+        Driven nodes start at their stimulus value at t=0.
+        """
+        if t_stop <= 0 or dt <= 0 or dt > t_stop:
+            raise SimulationError("need 0 < dt <= t_stop")
+        steps = int(round(t_stop / dt))
+        n = self._n_all
+        v = np.zeros(n)
+        if v_init:
+            for node, value in v_init.items():
+                idx = self._index.get(node)
+                if idx is None:
+                    raise SimulationError(f"unknown node {node!r} in v_init")
+                if idx >= 0:
+                    v[idx] = value
+        for node, src in self._driven.items():
+            v[self._index[node]] = src.value(0.0)
+
+        times = np.linspace(0.0, steps * dt, steps + 1)
+        history = np.empty((steps + 1, n))
+        history[0] = v
+
+        free_idx = np.arange(self._n_free)
+        driven_names = sorted(self._driven)
+        driven_idx = np.array(
+            [self._index[name] for name in driven_names], dtype=int)
+        c_over_dt = self._cmat / dt
+        source_energy = {self._driven[name].name: 0.0
+                         for name in driven_names}
+        source_charge = {self._driven[name].name: 0.0
+                         for name in driven_names}
+        energy_history = {self._driven[name].name:
+                          np.zeros(steps + 1)
+                          for name in driven_names}
+
+        g_last = None
+        lu = None
+        g_full = None
+        for step in range(1, steps + 1):
+            t_now = times[step]
+            g_mos = self._mos_conductances(v)
+            needs_factor = lu is None or (
+                g_mos.size > 0
+                and np.max(np.abs(g_mos - g_last)) >
+                refactor_tol * (np.max(np.abs(g_last)) + _GMIN)
+            )
+            if needs_factor:
+                g_full = self._gstatic.copy()
+                for g_dev, (_, idr, isr) in zip(g_mos, self._mos_terms):
+                    if g_dev == 0.0:
+                        continue
+                    if idr >= 0:
+                        g_full[idr, idr] += g_dev
+                    if isr >= 0:
+                        g_full[isr, isr] += g_dev
+                    if idr >= 0 and isr >= 0:
+                        g_full[idr, isr] -= g_dev
+                        g_full[isr, idr] -= g_dev
+                a_full = c_over_dt + g_full
+                lu = lu_factor(
+                    a_full[np.ix_(free_idx, free_idx)], check_finite=False)
+                self._a_full = a_full
+                g_last = g_mos
+
+            v_old = v.copy()
+            v_new = v_old.copy()
+            for name, idx in zip(driven_names, driven_idx):
+                v_new[idx] = self._driven[name].value(t_now)
+
+            # Free rows of the BE system:
+            #   A_ff v_new_f = (C/dt) v_old - A_fd v_new_d
+            # where (C/dt) v_old spans ALL columns (the capacitor history
+            # term from driven nodes included).
+            rhs = c_over_dt[free_idx] @ v_old
+            if driven_idx.size:
+                coupling = self._a_full[np.ix_(free_idx, driven_idx)]
+                rhs -= coupling @ v_new[driven_idx]
+            v_new[free_idx] = lu_solve(lu, rhs, check_finite=False)
+
+            # Source current bookkeeping: i_out = (C dv/dt + G v)_row.
+            dv_dt = (v_new - v_old) / dt
+            for name, idx in zip(driven_names, driven_idx):
+                row_c = self._cmat[idx]
+                row_g = g_full[idx]
+                i_out = row_c @ dv_dt + row_g @ v_new
+                src = self._driven[name]
+                source_charge[src.name] += i_out * dt
+                source_energy[src.name] += i_out * v_new[idx] * dt
+                energy_history[src.name][step] = source_energy[src.name]
+
+            v = v_new
+            history[step] = v
+
+        voltages = {}
+        for node, idx in self._index.items():
+            if idx >= 0:
+                voltages[node] = history[:, idx]
+        voltages[GND] = np.zeros(steps + 1)
+        return TransientResult(times, voltages, source_energy,
+                               source_charge, energy_history)

@@ -1,0 +1,277 @@
+"""Command-line interface to the LiM synthesis flow.
+
+Exposes the paper's workflow as subcommands::
+
+    python -m repro brick --type 8T --words 16 --bits 10 --stack 4
+    python -m repro library --out bricks.lib 16x10x2 32x12x1
+    python -m repro sram --words 128 --bits 10 --brick-words 16 \\
+                         --partitions 4 --verilog out.v
+    python -m repro sweep --total-words 128 --bits 8 16 32
+    python -m repro spgemm --scale small
+    python -m repro testchip --configs A B E --chips 3
+
+Every subcommand prints the same reports the examples and benchmarks
+produce, so the flow is scriptable without writing Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional, Sequence
+
+from .bricks import (
+    BrickSpec,
+    compile_brick,
+    estimate_brick,
+    generate_brick_library,
+    generate_layout,
+    partitioned,
+    single_partition,
+)
+from .cells import make_stdcell_library
+from .errors import ReproError
+from .explore import pareto_front, sweep_partitions
+from .liberty import write_liberty
+from .rtl import build_sram, emit_hierarchy
+from .synth import flow_report, run_flow
+from .tech import by_name
+from .units import MHZ, PJ, PS, format_si
+
+
+def _tech(args):
+    return by_name(args.tech)
+
+
+def _parse_brick_token(token: str) -> tuple:
+    """Parse ``WORDSxBITSxSTACK`` (e.g. ``16x10x2``)."""
+    parts = token.lower().split("x")
+    if len(parts) not in (2, 3):
+        raise ReproError(
+            f"brick spec {token!r} must be WORDSxBITS[xSTACK]")
+    words, bits = int(parts[0]), int(parts[1])
+    stack = int(parts[2]) if len(parts) == 3 else 1
+    return words, bits, stack
+
+
+def cmd_brick(args) -> int:
+    tech = _tech(args)
+    spec = BrickSpec(args.type, args.words, args.bits)
+    compiled = compile_brick(spec, tech, target_stack=args.stack)
+    est = estimate_brick(compiled, tech, stack=args.stack)
+    layout = generate_layout(compiled, tech)
+    print(f"brick {spec.name} @ {tech.name}, {args.stack}x stacked:")
+    print(f"  read critical path : {format_si(est.read_delay, 's')}")
+    print(f"  read energy        : {format_si(est.read_energy, 'J')}")
+    print(f"  write energy       : {format_si(est.write_energy, 'J')}")
+    if est.match_delay is not None:
+        print(f"  match path         : "
+              f"{format_si(est.match_delay, 's')}")
+        print(f"  match energy       : "
+              f"{format_si(est.match_energy, 'J')}")
+    print(f"  setup / hold       : {format_si(est.setup, 's')} / "
+          f"{format_si(est.hold, 's')}")
+    print(f"  area (1 brick)     : {layout.area_um2:.1f} um^2 "
+          f"({layout.array_efficiency:.0%} array)")
+    print(f"  leakage (bank)     : {format_si(est.leakage_w, 'W')}")
+    print(f"  max read frequency : "
+          f"{format_si(est.max_read_frequency(), 'Hz')}")
+    return 0
+
+
+def cmd_library(args) -> int:
+    tech = _tech(args)
+    requests = []
+    for token in args.bricks:
+        words, bits, stack = _parse_brick_token(token)
+        requests.append((BrickSpec(args.type, words, bits), stack))
+    library, elapsed = generate_brick_library(requests, tech)
+    print(f"generated {len(library)} brick cells in "
+          f"{elapsed * 1e3:.1f} ms")
+    if args.out:
+        if args.include_stdcells:
+            library = make_stdcell_library(tech).merged_with(library)
+        write_liberty(library, args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def cmd_sram(args) -> int:
+    tech = _tech(args)
+    brick = BrickSpec(args.type, args.brick_words, args.bits)
+    if args.partitions > 1:
+        config = partitioned(brick, args.words, args.partitions)
+    else:
+        config = single_partition(brick, args.words)
+    print(f"building {config.describe()}")
+    bricks, _ = generate_brick_library(
+        [(config.brick, config.stack)], tech)
+    library = make_stdcell_library(tech).merged_with(bricks)
+    module = build_sram(config)
+    if args.verilog:
+        with open(args.verilog, "w", encoding="utf-8") as handle:
+            handle.write(emit_hierarchy(module))
+        print(f"wrote {args.verilog}")
+
+    def stimulus(sim):
+        rng = random.Random(0)
+        for _ in range(args.cycles):
+            sim.set_input("raddr", rng.randrange(config.words))
+            sim.set_input("waddr", rng.randrange(config.words))
+            sim.set_input("din", rng.randrange(1 << config.bits))
+            sim.set_input("we", 1)
+            sim.clock()
+
+    result = run_flow(module, library, tech, stimulus=stimulus,
+                      anneal_moves=args.anneal)
+    print(flow_report(result))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    tech = _tech(args)
+    result = sweep_partitions(
+        tech,
+        total_words_options=(args.total_words,),
+        bits_options=tuple(args.bits),
+        brick_words_options=tuple(args.brick_words),
+        memory_type=args.type)
+    print(f"{len(result.points)} design points in "
+          f"{result.wall_clock_s * 1e3:.0f} ms")
+    header = (f"{'memory':>12s} {'brick':>12s} {'delay':>9s} "
+              f"{'energy':>11s} {'area':>11s}")
+    print(header)
+    print("-" * len(header))
+    for p in sorted(result.points,
+                    key=lambda p: (p.bits, p.brick_words)):
+        print(f"{'%dx%db' % (p.total_words, p.bits):>12s} "
+              f"{'%dx%db' % (p.brick_words, p.bits):>12s} "
+              f"{p.read_delay / PS:>7.0f}ps "
+              f"{p.read_energy / PJ:>9.3f}pJ "
+              f"{p.area_um2:>8.0f}um2")
+    front = pareto_front(
+        result.points,
+        lambda p: (p.read_delay, p.read_energy, p.area_um2))
+    print(f"pareto-optimal: {', '.join(p.label for p in front)}")
+    return 0
+
+
+def cmd_spgemm(args) -> int:
+    from .spgemm import (
+        CAMSpGEMMAccelerator,
+        HeapSpGEMMAccelerator,
+        benchmark_suite,
+    )
+    cam_chip = CAMSpGEMMAccelerator()
+    heap_chip = HeapSpGEMMAccelerator()
+    header = (f"{'workload':>14s} {'work':>8s} {'speedup':>8s} "
+              f"{'energyX':>8s}")
+    print(header)
+    print("-" * len(header))
+    for workload in benchmark_suite(args.scale):
+        cam = cam_chip.simulate(workload.a, workload.b,
+                                with_dram=args.dram)
+        heap = heap_chip.simulate(workload.a, workload.b,
+                                  with_dram=args.dram)
+        print(f"{workload.name:>14s} {workload.work:>8d} "
+              f"{heap.completion_time_s / cam.completion_time_s:>7.1f}x"
+              f" {heap.energy_j / cam.energy_j:>7.1f}x")
+    return 0
+
+
+def cmd_testchip(args) -> int:
+    from .silicon import measure_chips, simulate_corners
+    tech = _tech(args)
+    measured = measure_chips(args.configs, tech, n_chips=args.chips,
+                             anneal_moves=args.anneal)
+    simulated = simulate_corners(args.configs, tech,
+                                 anneal_moves=args.anneal)
+    header = (f"{'cfg':>4s} {'measured':>10s} {'spread':>16s} "
+              f"{'sim w/n/b [MHz]':>20s} {'energy':>9s}")
+    print(header)
+    print("-" * len(header))
+    for name in args.configs:
+        m, s = measured[name], simulated[name]
+        print(f"{name:>4s} {m.mean_fmax / MHZ:>8.0f}MHz "
+              f"[{m.min_fmax / MHZ:.0f}..{m.max_fmax / MHZ:.0f}] "
+              f"{s.fmax_worst / MHZ:>6.0f}/{s.fmax_nominal / MHZ:.0f}/"
+              f"{s.fmax_best / MHZ:.0f} "
+              f"{m.mean_energy / PJ:>7.2f}pJ")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LiM synthesis methodology reproduction (DAC 2015)")
+    parser.add_argument("--tech", default="cmos65",
+                        help="technology preset (default: cmos65)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("brick", help="compile and estimate one brick")
+    p.add_argument("--type", default="8T",
+                   choices=["6T", "8T", "CAM", "EDRAM", "DP"])
+    p.add_argument("--words", type=int, default=16)
+    p.add_argument("--bits", type=int, default=10)
+    p.add_argument("--stack", type=int, default=1)
+    p.set_defaults(func=cmd_brick)
+
+    p = sub.add_parser("library",
+                       help="generate a brick library (.lib)")
+    p.add_argument("bricks", nargs="+",
+                   help="brick specs as WORDSxBITS[xSTACK]")
+    p.add_argument("--type", default="8T")
+    p.add_argument("--out", help="Liberty output path")
+    p.add_argument("--include-stdcells", action="store_true")
+    p.set_defaults(func=cmd_library)
+
+    p = sub.add_parser("sram", help="synthesize an SRAM from bricks")
+    p.add_argument("--words", type=int, default=32)
+    p.add_argument("--bits", type=int, default=10)
+    p.add_argument("--brick-words", type=int, default=16)
+    p.add_argument("--partitions", type=int, default=1)
+    p.add_argument("--type", default="8T")
+    p.add_argument("--cycles", type=int, default=64)
+    p.add_argument("--anneal", type=int, default=2000)
+    p.add_argument("--verilog", help="write structural Verilog here")
+    p.set_defaults(func=cmd_sram)
+
+    p = sub.add_parser("sweep", help="design-space exploration")
+    p.add_argument("--total-words", type=int, default=128)
+    p.add_argument("--bits", type=int, nargs="+",
+                   default=[8, 16, 32])
+    p.add_argument("--brick-words", type=int, nargs="+",
+                   default=[16, 32, 64])
+    p.add_argument("--type", default="8T")
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("spgemm",
+                       help="LiM CAM chip vs heap baseline (Fig. 6)")
+    p.add_argument("--scale", default="small",
+                   choices=["tiny", "small", "medium"])
+    p.add_argument("--dram", action="store_true")
+    p.set_defaults(func=cmd_spgemm)
+
+    p = sub.add_parser("testchip",
+                       help="Fig. 4b chip-measurement emulation")
+    p.add_argument("--configs", nargs="+", default=["A", "B", "C"],
+                   choices=["A", "B", "C", "D", "E"])
+    p.add_argument("--chips", type=int, default=3)
+    p.add_argument("--anneal", type=int, default=1000)
+    p.set_defaults(func=cmd_testchip)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,76 @@
+"""Exception hierarchy for the LiM synthesis reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch one base class at flow boundaries while still telling the
+failure domains apart.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class TechnologyError(ReproError):
+    """Invalid or inconsistent technology parameters."""
+
+
+class PatternError(ReproError):
+    """Invalid pattern-construct definition or layout pattern grid."""
+
+
+class NetlistError(ReproError):
+    """Malformed circuit netlist (dangling nets, duplicate devices, ...)."""
+
+
+class SizingError(ReproError):
+    """Logical-effort sizing failure (no feasible sizing, bad path)."""
+
+
+class SimulationError(ReproError):
+    """Transient/logic simulation failure (non-convergence, bad stimulus)."""
+
+
+class LayoutError(ReproError):
+    """Brick or block layout generation failure."""
+
+
+class LibraryError(ReproError):
+    """Library model generation or lookup failure."""
+
+
+class BrickError(ReproError):
+    """Invalid brick specification or compilation failure."""
+
+
+class RTLError(ReproError):
+    """Structural RTL construction or elaboration failure."""
+
+
+class SynthesisError(ReproError):
+    """Technology mapping / physical synthesis failure."""
+
+
+class TimingError(ReproError):
+    """Static timing analysis failure (combinational loop, missing arc)."""
+
+
+class PowerError(ReproError):
+    """Power analysis failure (missing activity, missing energy model)."""
+
+
+class ExplorationError(ReproError):
+    """Design-space exploration failure (empty sweep, bad objective)."""
+
+
+class SiliconError(ReproError):
+    """Silicon-emulation failure (measurement did not converge)."""
+
+
+class SparseError(ReproError):
+    """Sparse-matrix construction or algebra failure."""
+
+
+class AcceleratorError(ReproError):
+    """SpGEMM accelerator simulation failure (capacity overflow, ...)."""

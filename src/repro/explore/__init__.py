@@ -1,0 +1,24 @@
+"""Design-space exploration: sweeps, pareto fronts, design generation."""
+
+from .chip_gen import (
+    DesignTemplate,
+    generate_variants,
+    mac_core_generator,
+    mac_template,
+)
+from .pareto import dominates, knee_point, pareto_front
+from .sweep import (
+    BrickChoice,
+    SweepPoint,
+    SweepResult,
+    optimize_brick_selection,
+    sweep_partitions,
+)
+
+__all__ = [
+    "DesignTemplate", "generate_variants", "mac_core_generator",
+    "mac_template",
+    "dominates", "knee_point", "pareto_front",
+    "BrickChoice", "SweepPoint", "SweepResult",
+    "optimize_brick_selection", "sweep_partitions",
+]

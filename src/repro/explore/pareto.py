@@ -1,0 +1,68 @@
+"""Pareto-front extraction.
+
+The paper's synthesis flow "enables rapid design-space exploration for
+the overall system by generating pareto-curves of possible block designs"
+(Section 1).  This module extracts non-dominated sets from sweep results
+over arbitrary metric tuples.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple, TypeVar
+
+from ..errors import ExplorationError
+
+T = TypeVar("T")
+
+#: Extracts the metric vector (all minimized) from a design point.
+MetricFn = Callable[[T], Tuple[float, ...]]
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when ``a`` is no worse than ``b`` everywhere and better
+    somewhere (minimization)."""
+    if len(a) != len(b):
+        raise ExplorationError("metric vectors must have equal length")
+    no_worse = all(x <= y for x, y in zip(a, b))
+    better = any(x < y for x, y in zip(a, b))
+    return no_worse and better
+
+
+def pareto_front(points: Sequence[T], metrics: MetricFn) -> List[T]:
+    """Return the non-dominated subset of ``points``.
+
+    Stable: survivors keep their input order.  Duplicate metric vectors
+    all survive (none strictly dominates another).
+    """
+    vectors = [metrics(p) for p in points]
+    front: List[T] = []
+    for i, point in enumerate(points):
+        if any(dominates(vectors[j], vectors[i])
+               for j in range(len(points)) if j != i):
+            continue
+        front.append(point)
+    return front
+
+
+def knee_point(points: Sequence[T], metrics: MetricFn) -> T:
+    """The balanced design: minimal normalized distance to the utopia
+    point of the front."""
+    front = pareto_front(points, metrics)
+    if not front:
+        raise ExplorationError("empty point set")
+    vectors = [metrics(p) for p in front]
+    dims = len(vectors[0])
+    mins = [min(v[d] for v in vectors) for d in range(dims)]
+    maxs = [max(v[d] for v in vectors) for d in range(dims)]
+
+    def distance(v: Sequence[float]) -> float:
+        total = 0.0
+        for d in range(dims):
+            span = maxs[d] - mins[d]
+            norm = 0.0 if span == 0 else (v[d] - mins[d]) / span
+            total += norm * norm
+        return total
+
+    best_index = min(range(len(front)),
+                     key=lambda i: distance(vectors[i]))
+    return front[best_index]

@@ -1,0 +1,168 @@
+"""Design-space exploration sweeps.
+
+"Enabled by the automated brick generation, we performed rapid
+design-space exploration to compare various system-level tradeoffs"
+(Section 3, Fig. 4c).  :func:`sweep_partitions` reproduces that study:
+for every (memory size, brick size) combination it compiles the brick,
+generates its library model and records performance/energy/area — in
+milliseconds per point, which is the paper's headline usability claim.
+
+:func:`optimize_brick_selection` implements the paper's *future work*
+(Section 6): let the flow pick the brick size like a standard-cell drive
+selection instead of taking it as an input.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..bricks.compiler import compile_brick
+from ..bricks.estimator import BrickPerformance, estimate_brick
+from ..bricks.spec import BrickSpec, sram_brick
+from ..errors import ExplorationError
+from ..tech.technology import Technology
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One explored memory organization."""
+
+    total_words: int
+    bits: int
+    brick_words: int
+    stack: int
+    read_delay: float
+    read_energy: float
+    write_energy: float
+    area_um2: float
+    leakage_w: float
+
+    @property
+    def label(self) -> str:
+        return (f"{self.total_words}x{self.bits}b from "
+                f"{self.brick_words}x{self.bits}b bricks "
+                f"({self.stack}x)")
+
+    def normalized(self, ref: "SweepPoint") -> Dict[str, float]:
+        """Metrics normalized to a reference point (Fig. 4c's y-axes)."""
+        return {
+            "delay": self.read_delay / ref.read_delay,
+            "energy": self.read_energy / ref.read_energy,
+            "area": self.area_um2 / ref.area_um2,
+        }
+
+
+@dataclass
+class SweepResult:
+    points: List[SweepPoint]
+    wall_clock_s: float
+
+    def filter(self, total_words: Optional[int] = None,
+               bits: Optional[int] = None,
+               brick_words: Optional[int] = None) -> List[SweepPoint]:
+        selected = self.points
+        if total_words is not None:
+            selected = [p for p in selected
+                        if p.total_words == total_words]
+        if bits is not None:
+            selected = [p for p in selected if p.bits == bits]
+        if brick_words is not None:
+            selected = [p for p in selected
+                        if p.brick_words == brick_words]
+        return selected
+
+    def point(self, total_words: int, bits: int,
+              brick_words: int) -> SweepPoint:
+        matches = self.filter(total_words, bits, brick_words)
+        if not matches:
+            raise ExplorationError(
+                f"no sweep point for {total_words}x{bits} from "
+                f"{brick_words}-word bricks")
+        return matches[0]
+
+
+def sweep_partitions(tech: Technology,
+                     total_words_options: Sequence[int] = (128,),
+                     bits_options: Sequence[int] = (8, 16, 32),
+                     brick_words_options: Sequence[int] = (16, 32, 64),
+                     memory_type: str = "8T") -> SweepResult:
+    """The Fig. 4c sweep: single-partition memories of each size built
+    from each brick flavour.
+
+    The default arguments are exactly the paper's: 128x{8,16,32} bit
+    SRAMs built from 16/32/64-word bricks (9 brick compilations).
+    """
+    start = time.perf_counter()
+    points: List[SweepPoint] = []
+    for bits in bits_options:
+        for brick_words in brick_words_options:
+            spec = BrickSpec(memory_type, brick_words, bits)
+            for total_words in total_words_options:
+                if total_words % brick_words != 0:
+                    continue
+                stack = total_words // brick_words
+                compiled = compile_brick(spec, tech, target_stack=stack)
+                est = estimate_brick(compiled, tech, stack=stack)
+                points.append(SweepPoint(
+                    total_words=total_words,
+                    bits=bits,
+                    brick_words=brick_words,
+                    stack=stack,
+                    read_delay=est.read_delay,
+                    read_energy=est.read_energy,
+                    write_energy=est.write_energy,
+                    area_um2=est.area_um2,
+                    leakage_w=est.leakage_w,
+                ))
+    if not points:
+        raise ExplorationError("sweep produced no points")
+    return SweepResult(points, time.perf_counter() - start)
+
+
+@dataclass(frozen=True)
+class BrickChoice:
+    """Result of automatic brick selection for one memory requirement."""
+
+    point: SweepPoint
+    objective_value: float
+
+
+def optimize_brick_selection(
+        tech: Technology, total_words: int, bits: int,
+        brick_words_options: Sequence[int] = (8, 16, 32, 64, 128),
+        delay_weight: float = 1.0,
+        energy_weight: float = 1.0,
+        area_weight: float = 0.5,
+        memory_type: str = "8T") -> BrickChoice:
+    """Pick the brick size minimizing a weighted delay/energy/area cost.
+
+    Implements the paper's Section 6 future work: "the synthesis tools
+    could optimize the array size ... of the memory bricks in a standard
+    cell like manner."  The cost is a weighted product of metrics
+    normalized to the best candidate per axis, so weights express
+    relative priorities without unit juggling.
+    """
+    candidates: List[SweepPoint] = []
+    for brick_words in brick_words_options:
+        if total_words % brick_words != 0 or brick_words > total_words:
+            continue
+        result = sweep_partitions(
+            tech, (total_words,), (bits,), (brick_words,), memory_type)
+        candidates.extend(result.points)
+    if not candidates:
+        raise ExplorationError(
+            f"no brick size in {list(brick_words_options)} divides "
+            f"{total_words}")
+    best_delay = min(p.read_delay for p in candidates)
+    best_energy = min(p.read_energy for p in candidates)
+    best_area = min(p.area_um2 for p in candidates)
+
+    def cost(p: SweepPoint) -> float:
+        return ((p.read_delay / best_delay) ** delay_weight
+                * (p.read_energy / best_energy) ** energy_weight
+                * (p.area_um2 / best_area) ** area_weight)
+
+    winner = min(candidates, key=cost)
+    return BrickChoice(point=winner, objective_value=cost(winner))

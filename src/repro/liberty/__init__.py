@@ -1,0 +1,21 @@
+"""Library modeling: NLDM LUTs, cell/library models, Liberty emitter."""
+
+from .lut import LUT2D, default_load_axis, default_slew_axis
+from .models import (
+    CLOCK,
+    INPUT,
+    OUTPUT,
+    CellModel,
+    LibraryModel,
+    PinModel,
+    TimingArc,
+)
+from .parser import parse_library, parse_liberty_text, read_liberty
+from .writer import LibertyWriter, write_liberty
+
+__all__ = [
+    "LUT2D", "default_load_axis", "default_slew_axis",
+    "CLOCK", "INPUT", "OUTPUT", "CellModel", "LibraryModel", "PinModel",
+    "TimingArc", "LibertyWriter", "write_liberty",
+    "parse_library", "parse_liberty_text", "read_liberty",
+]

@@ -1,0 +1,181 @@
+"""Timing/power library models (the role of .lib files in the paper's flow).
+
+"Bricks are integrated ... by library files at the gate netlist (.lib that
+includes timing, power, and area)" — this module defines those library
+objects.  Standard cells and memory bricks are both :class:`CellModel`
+instances, which is the formal expression of the paper's central idea: once
+memory bricks live at the same abstraction level as standard cells, every
+downstream tool (mapper, placer, STA, power) handles them uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..errors import LibraryError
+from .lut import LUT2D
+
+INPUT = "input"
+OUTPUT = "output"
+CLOCK = "clock"
+
+
+@dataclass(frozen=True)
+class PinModel:
+    """One pin of a cell: direction and input capacitance."""
+
+    name: str
+    direction: str
+    cap: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.direction not in (INPUT, OUTPUT, CLOCK):
+            raise LibraryError(
+                f"pin {self.name!r} has bad direction {self.direction!r}")
+        if self.cap < 0:
+            raise LibraryError(f"pin {self.name!r} has negative cap")
+
+
+@dataclass(frozen=True)
+class TimingArc:
+    """A delay arc from an input (or clock) pin to an output pin."""
+
+    from_pin: str
+    to_pin: str
+    delay: LUT2D
+    out_slew: LUT2D
+
+    def delay_value(self, slew_in: float, load: float) -> float:
+        return self.delay.value(slew_in, load)
+
+    def slew_value(self, slew_in: float, load: float) -> float:
+        return self.out_slew.value(slew_in, load)
+
+
+@dataclass
+class CellModel:
+    """A library cell: standard cell or memory brick macro.
+
+    ``energy`` maps operation names to per-operation energy LUTs
+    (slew x load).  Standard cells use the single op ``"switch"``; bricks
+    use ``"read"``, ``"write"`` and (for CAM bricks) ``"match"``; flops use
+    ``"clock"`` and ``"switch"``.
+
+    ``attrs`` carries open metadata; brick models store ``words``,
+    ``bits``, ``stack`` and ``memory_type`` there so that reports and the
+    design-space explorer can reason about storage without downcasting.
+    """
+
+    name: str
+    area: float  # um^2
+    pins: Dict[str, PinModel]
+    arcs: List[TimingArc] = field(default_factory=list)
+    energy: Dict[str, LUT2D] = field(default_factory=dict)
+    leakage: float = 0.0  # watts
+    gate_name: Optional[str] = None  # link into circuit.gates.CATALOG
+    sequential: bool = False
+    setup: float = 0.0
+    hold: float = 0.0
+    clock_pin: Optional[str] = None
+    #: Hard lower bound on the clock period this cell allows (seconds).
+    #: Precharged bricks need their evaluate phase (half the period) to
+    #: cover the read path, so their min_period is twice the critical
+    #: path.  Zero means unconstrained.
+    min_period: float = 0.0
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.area < 0:
+            raise LibraryError(f"cell {self.name!r} has negative area")
+        for arc in self.arcs:
+            if arc.from_pin not in self.pins:
+                raise LibraryError(
+                    f"cell {self.name!r}: arc from unknown pin "
+                    f"{arc.from_pin!r}")
+            if arc.to_pin not in self.pins:
+                raise LibraryError(
+                    f"cell {self.name!r}: arc to unknown pin "
+                    f"{arc.to_pin!r}")
+        if self.sequential and self.clock_pin is None:
+            raise LibraryError(
+                f"sequential cell {self.name!r} needs a clock pin")
+
+    # --- pin queries -------------------------------------------------------
+
+    def input_pins(self) -> List[str]:
+        return [p.name for p in self.pins.values()
+                if p.direction in (INPUT, CLOCK)]
+
+    def output_pins(self) -> List[str]:
+        return [p.name for p in self.pins.values() if p.direction == OUTPUT]
+
+    def pin_cap(self, pin: str) -> float:
+        try:
+            return self.pins[pin].cap
+        except KeyError as exc:
+            raise LibraryError(
+                f"cell {self.name!r} has no pin {pin!r}") from exc
+
+    def arcs_to(self, out_pin: str) -> List[TimingArc]:
+        return [a for a in self.arcs if a.to_pin == out_pin]
+
+    def arc(self, from_pin: str, to_pin: str) -> TimingArc:
+        for candidate in self.arcs:
+            if candidate.from_pin == from_pin and candidate.to_pin == to_pin:
+                return candidate
+        raise LibraryError(
+            f"cell {self.name!r} has no arc {from_pin!r} -> {to_pin!r}")
+
+    def energy_of(self, op: str, slew: float = 0.0,
+                  load: float = 0.0) -> float:
+        try:
+            return self.energy[op].value(slew, load)
+        except KeyError as exc:
+            raise LibraryError(
+                f"cell {self.name!r} has no energy model for op {op!r}; "
+                f"known: {sorted(self.energy)}") from exc
+
+    @property
+    def is_brick(self) -> bool:
+        return "memory_type" in self.attrs
+
+
+@dataclass
+class LibraryModel:
+    """A named collection of cell models characterized for one technology."""
+
+    name: str
+    tech_name: str
+    cells: Dict[str, CellModel] = field(default_factory=dict)
+
+    def add(self, cell: CellModel) -> None:
+        if cell.name in self.cells:
+            raise LibraryError(f"duplicate cell {cell.name!r} in library")
+        self.cells[cell.name] = cell
+
+    def cell(self, name: str) -> CellModel:
+        try:
+            return self.cells[name]
+        except KeyError as exc:
+            raise LibraryError(
+                f"library {self.name!r} has no cell {name!r}") from exc
+
+    def merged_with(self, other: "LibraryModel") -> "LibraryModel":
+        """Union of two libraries (std cells + generated bricks)."""
+        merged = LibraryModel(
+            name=f"{self.name}+{other.name}", tech_name=self.tech_name)
+        for cell in self.cells.values():
+            merged.add(cell)
+        for cell in other.cells.values():
+            merged.add(cell)
+        return merged
+
+    def bricks(self) -> List[CellModel]:
+        return [c for c in self.cells.values() if c.is_brick]
+
+    def __iter__(self) -> Iterable[CellModel]:
+        return iter(self.cells.values())
+
+    def __len__(self) -> int:
+        return len(self.cells)

@@ -1,0 +1,324 @@
+"""Liberty (.lib) parser.
+
+The inverse of :mod:`repro.liberty.writer`: reads the NLDM subset this
+package emits back into :class:`~repro.liberty.models.LibraryModel`
+objects, so generated brick libraries survive a round trip through the
+industry exchange format (and externally authored libraries in the same
+subset can be imported).
+
+The grammar handled is the standard Liberty block structure::
+
+    group_name (args) { attribute : value; ... nested groups ... }
+
+with complex attributes (``index_1 ("...")``, ``values ("...", "...")``)
+and the unit conventions the writer records (time in ns, capacitance in
+fF, energy in fJ, leakage in nW, area in um^2).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import LibraryError
+from ..units import FF, NS
+from .lut import LUT2D
+from .models import CLOCK, INPUT, OUTPUT, CellModel, LibraryModel, \
+    PinModel, TimingArc
+
+
+@dataclass
+class LibertyGroup:
+    """One parsed ``name (args) { ... }`` block."""
+
+    name: str
+    args: str
+    attributes: Dict[str, str] = field(default_factory=dict)
+    complex_attributes: Dict[str, List[str]] = field(
+        default_factory=dict)
+    children: List["LibertyGroup"] = field(default_factory=list)
+    comments: List[str] = field(default_factory=list)
+
+    def child(self, name: str) -> Optional["LibertyGroup"]:
+        for group in self.children:
+            if group.name == name:
+                return group
+        return None
+
+    def children_named(self, name: str) -> List["LibertyGroup"]:
+        return [g for g in self.children if g.name == name]
+
+
+class _Tokenizer:
+    """Liberty-aware scanner: strips comments, yields structural
+    tokens."""
+
+    def __init__(self, text: str):
+        self.comments: List[str] = []
+        # Collect /* ... */ comments (the writer stores brick metadata
+        # there), then strip them and line continuations.
+        for match in re.finditer(r"/\*(.*?)\*/", text, re.S):
+            self.comments.append(match.group(1).strip())
+        text = re.sub(r"/\*.*?\*/", " ", text, flags=re.S)
+        text = text.replace("\\\n", " ")
+        self.text = text
+        self.pos = 0
+
+    def _skip_ws(self) -> None:
+        while self.pos < len(self.text) and \
+                self.text[self.pos] in " \t\r\n":
+            self.pos += 1
+
+    def peek(self) -> str:
+        self._skip_ws()
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def take(self) -> str:
+        self._skip_ws()
+        char = self.text[self.pos]
+        self.pos += 1
+        return char
+
+    def until(self, stops: str) -> str:
+        """Consume text up to (not including) any stop character,
+        respecting quoted strings."""
+        self._skip_ws()
+        out = []
+        while self.pos < len(self.text):
+            char = self.text[self.pos]
+            if char == '"':
+                end = self.text.index('"', self.pos + 1)
+                out.append(self.text[self.pos:end + 1])
+                self.pos = end + 1
+                continue
+            if char in stops:
+                break
+            out.append(char)
+            self.pos += 1
+        return "".join(out).strip()
+
+
+def _parse_group(tok: _Tokenizer) -> LibertyGroup:
+    header = tok.until("({;}")
+    if tok.peek() != "(":
+        raise LibraryError(
+            f"expected '(' after group name {header!r}")
+    tok.take()
+    args = tok.until(")")
+    tok.take()  # ')'
+    group = LibertyGroup(name=header.strip(), args=args.strip())
+    if tok.peek() != "{":
+        raise LibraryError(f"expected '{{' for group {header!r}")
+    tok.take()
+    while True:
+        char = tok.peek()
+        if char == "":
+            raise LibraryError(
+                f"unterminated group {group.name!r}")
+        if char == "}":
+            tok.take()
+            return group
+        item = tok.until(":({;}")
+        nxt = tok.peek()
+        if nxt == ":":
+            tok.take()
+            value = tok.until(";")
+            tok.take()
+            group.attributes[item.strip()] = value.strip().strip('"')
+        elif nxt == "(":
+            # Either a nested group or a complex attribute; decide by
+            # whether a '{' follows the closing paren.
+            tok.take()
+            inner = tok.until(")")
+            tok.take()
+            after = tok.peek()
+            if after == "{":
+                tok.take()
+                child = LibertyGroup(name=item.strip(),
+                                     args=inner.strip())
+                _parse_group_body(tok, child)
+                group.children.append(child)
+            else:
+                if after == ";":
+                    tok.take()
+                values = [piece.strip().strip('"')
+                          for piece in inner.split('",')]
+                group.complex_attributes[item.strip()] = [
+                    v.strip().strip('"') for v in values]
+        elif nxt == ";":
+            tok.take()  # stray semicolon
+        else:
+            raise LibraryError(
+                f"unexpected character {nxt!r} in group "
+                f"{group.name!r}")
+
+
+def _parse_group_body(tok: _Tokenizer, group: LibertyGroup) -> None:
+    while True:
+        char = tok.peek()
+        if char == "":
+            raise LibraryError(f"unterminated group {group.name!r}")
+        if char == "}":
+            tok.take()
+            return
+        item = tok.until(":({;}")
+        nxt = tok.peek()
+        if nxt == ":":
+            tok.take()
+            value = tok.until(";")
+            tok.take()
+            group.attributes[item.strip()] = value.strip().strip('"')
+        elif nxt == "(":
+            tok.take()
+            inner = tok.until(")")
+            tok.take()
+            after = tok.peek()
+            if after == "{":
+                tok.take()
+                child = LibertyGroup(name=item.strip(),
+                                     args=inner.strip())
+                _parse_group_body(tok, child)
+                group.children.append(child)
+            else:
+                if after == ";":
+                    tok.take()
+                group.complex_attributes[item.strip()] = [
+                    v.strip().strip('"') for v in inner.split('",')]
+        elif nxt == ";":
+            tok.take()
+        else:
+            raise LibraryError(
+                f"unexpected character {nxt!r} in group "
+                f"{group.name!r}")
+
+
+def parse_liberty_text(text: str) -> LibertyGroup:
+    """Parse Liberty text into its root ``library`` group."""
+    tok = _Tokenizer(text)
+    root = _parse_group(tok)
+    if root.name != "library":
+        raise LibraryError(
+            f"top-level group must be 'library', got {root.name!r}")
+    root.comments = tok.comments
+    return root
+
+
+def _axis(values: List[str], scale: float) -> Tuple[float, ...]:
+    numbers = []
+    for chunk in values:
+        numbers.extend(float(x) for x in chunk.split(",") if x.strip())
+    return tuple(n * scale for n in numbers)
+
+
+def _lut_from_group(group: LibertyGroup,
+                    value_scale: float) -> LUT2D:
+    slews = _axis(group.complex_attributes.get("index_1", ["0"]), NS)
+    loads = _axis(group.complex_attributes.get("index_2", ["0"]), FF)
+    raw = group.complex_attributes.get("values", [])
+    rows = []
+    for chunk in raw:
+        for line in chunk.split('",'):
+            cleaned = line.strip().strip('"').rstrip(",")
+            if cleaned:
+                rows.append(tuple(float(x) * value_scale
+                                  for x in cleaned.split(",")))
+    if len(rows) != len(slews):
+        # The writer packs one quoted row per slew; tolerate flattening.
+        flat = [v for row in rows for v in row]
+        if len(flat) == len(slews) * len(loads):
+            rows = [tuple(flat[i * len(loads):(i + 1) * len(loads)])
+                    for i in range(len(slews))]
+        else:
+            raise LibraryError("LUT values do not match axes")
+    return LUT2D(slews, loads, tuple(rows))
+
+
+def _cell_from_group(group: LibertyGroup) -> CellModel:
+    name = group.args
+    area = float(group.attributes.get("area", "0"))
+    leakage = float(group.attributes.get("cell_leakage_power", "0")) \
+        * 1e-9
+    sequential = group.child("ff") is not None
+    clock_pin = None
+    pins: Dict[str, PinModel] = {}
+    arcs: List[TimingArc] = []
+    for pin_group in group.children_named("pin"):
+        pin_name = pin_group.args
+        direction = pin_group.attributes.get("direction", "input")
+        cap = float(pin_group.attributes.get("capacitance", "0")) * FF
+        is_clock = pin_group.attributes.get("clock") == "true"
+        if is_clock:
+            clock_pin = pin_name
+        model_dir = OUTPUT if direction == "output" else \
+            (CLOCK if is_clock else INPUT)
+        pins[pin_name] = PinModel(pin_name, model_dir, cap=cap)
+        for timing in pin_group.children_named("timing"):
+            related = timing.attributes.get("related_pin", "")
+            rise = timing.child("cell_rise")
+            transition = timing.child("rise_transition")
+            if rise is None or transition is None:
+                continue
+            arcs.append(TimingArc(
+                related, pin_name,
+                _lut_from_group(rise, NS),
+                _lut_from_group(transition, NS)))
+    energy: Dict[str, LUT2D] = {}
+    for power in group.children_named("internal_power"):
+        op = power.attributes.get("when", "switch")
+        table = power.child("rise_power")
+        if table is not None:
+            energy[op] = _lut_from_group(table, 1e-15)
+    attrs: Dict[str, object] = {}
+    for comment in group.comments:
+        if ":" in comment:
+            key, _, value = comment.partition(":")
+            attrs[key.strip()] = value.strip()
+    if sequential and clock_pin is None:
+        # The writer records the clock on the pin; fall back to the ff
+        # group's clocked_on attribute.
+        ff = group.child("ff")
+        clocked_on = ff.attributes.get("clocked_on", "") if ff else ""
+        clock_pin = clocked_on.strip('"') or None
+        if clock_pin is None:
+            sequential = False
+    return CellModel(
+        name=name,
+        area=area,
+        pins=pins,
+        arcs=arcs,
+        energy=energy,
+        leakage=leakage,
+        sequential=sequential,
+        clock_pin=clock_pin,
+        attrs=attrs,
+    )
+
+
+def parse_library(text: str) -> LibraryModel:
+    """Parse Liberty text into a :class:`LibraryModel`.
+
+    Covers the subset :class:`~repro.liberty.writer.LibertyWriter`
+    emits; unknown constructs in that subset raise
+    :class:`~repro.errors.LibraryError`, unknown *extra* attributes are
+    ignored (Liberty is wildly extensible).
+    """
+    root = parse_liberty_text(text)
+    tech_name = "unknown"
+    for comment in root.comments:
+        if comment.startswith("technology"):
+            tech_name = comment.partition(":")[2].strip()
+    library = LibraryModel(name=root.args, tech_name=tech_name)
+    # Attach comments to cells by order: the writer emits metadata
+    # comments inside each cell group, but the tokenizer hoists them;
+    # match them back by cell-name adjacency is fragile, so brick
+    # metadata round-trips only as library-level comments.
+    for cell_group in root.children_named("cell"):
+        library.add(_cell_from_group(cell_group))
+    return library
+
+
+def read_liberty(path: str) -> LibraryModel:
+    """Read a Liberty file from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_library(handle.read())

@@ -1,0 +1,144 @@
+"""Liberty (.lib) text emitter.
+
+The paper's bricks enter commercial tools "by library files at the gate
+netlist (.lib that includes timing, power, and area)".  Our flow consumes
+:class:`~repro.liberty.models.LibraryModel` objects directly, but this
+writer emits the industry exchange format so generated brick libraries can
+be inspected, diffed and (in principle) fed to external tools.
+
+The emitted subset is standard NLDM Liberty: ``lu_table_template``,
+``cell``/``pin``/``timing`` groups with ``cell_rise``/``cell_fall`` and
+transition tables, ``internal_power`` groups for the per-op energies, and
+brick metadata as cell-level attributes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..units import FF, NS, UM
+from .lut import LUT2D
+from .models import CLOCK, INPUT, OUTPUT, CellModel, LibraryModel
+
+_INDENT = "  "
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.6g}"
+
+
+def _axis(values) -> str:
+    return ", ".join(_fmt(v) for v in values)
+
+
+class LibertyWriter:
+    """Serializes a :class:`LibraryModel` to Liberty text.
+
+    Units follow common 65 nm practice: time in ns, capacitance in fF
+    (recorded in the library header), energy in fJ, area in um^2.
+    """
+
+    def __init__(self, library: LibraryModel):
+        self.library = library
+        self._lines: List[str] = []
+        self._depth = 0
+
+    # --- low-level emission --------------------------------------------------
+
+    def _emit(self, text: str) -> None:
+        self._lines.append(_INDENT * self._depth + text)
+
+    def _open(self, text: str) -> None:
+        self._emit(text + " {")
+        self._depth += 1
+
+    def _close(self) -> None:
+        self._depth -= 1
+        self._emit("}")
+
+    # --- group writers ---------------------------------------------------------
+
+    def _write_lut(self, group: str, lut: LUT2D) -> None:
+        self._open(f"{group} (lut_{len(lut.slews)}x{len(lut.loads)})")
+        self._emit(f'index_1 ("{_axis(s / NS for s in lut.slews)}");')
+        self._emit(f'index_2 ("{_axis(c / FF for c in lut.loads)}");')
+        rows = ", \\\n".join(
+            _INDENT * (self._depth + 1) + f'"{_axis(v / NS for v in row)}"'
+            for row in lut.values)
+        self._emit("values ( \\")
+        self._lines.append(rows + ");")
+        self._close()
+
+    def _write_energy(self, op: str, lut: LUT2D) -> None:
+        self._open(f'internal_power ()')
+        self._emit(f'when : "{op}";')
+        # Energy tables are emitted in fJ against the same axes.
+        self._open("rise_power (energy)")
+        self._emit(f'index_1 ("{_axis(s / NS for s in lut.slews)}");')
+        self._emit(f'index_2 ("{_axis(c / FF for c in lut.loads)}");')
+        rows = ", \\\n".join(
+            _INDENT * (self._depth + 1)
+            + f'"{_axis(v / 1e-15 for v in row)}"'
+            for row in lut.values)
+        self._emit("values ( \\")
+        self._lines.append(rows + ");")
+        self._close()
+        self._close()
+
+    def _write_pin(self, cell: CellModel, pin_name: str) -> None:
+        pin = cell.pins[pin_name]
+        self._open(f"pin ({pin.name})")
+        if pin.direction == OUTPUT:
+            self._emit("direction : output;")
+            for arc in cell.arcs_to(pin.name):
+                self._open("timing ()")
+                self._emit(f'related_pin : "{arc.from_pin}";')
+                self._write_lut("cell_rise", arc.delay)
+                self._write_lut("cell_fall", arc.delay)
+                self._write_lut("rise_transition", arc.out_slew)
+                self._write_lut("fall_transition", arc.out_slew)
+                self._close()
+        else:
+            self._emit("direction : input;")
+            self._emit(f"capacitance : {_fmt(pin.cap / FF)};")
+            if pin.direction == CLOCK:
+                self._emit("clock : true;")
+        self._close()
+
+    def _write_cell(self, cell: CellModel) -> None:
+        self._open(f"cell ({cell.name})")
+        self._emit(f"area : {_fmt(cell.area / (UM * UM))};")
+        self._emit(f"cell_leakage_power : {_fmt(cell.leakage / 1e-9)};")
+        if cell.sequential:
+            self._open(f'ff (IQ, IQN)')
+            self._emit(f'clocked_on : "{cell.clock_pin}";')
+            self._close()
+        for key, value in sorted(cell.attrs.items()):
+            self._emit(f'/* {key} : {value} */')
+        for pin_name in sorted(cell.pins):
+            self._write_pin(cell, pin_name)
+        for op in sorted(cell.energy):
+            self._write_energy(op, cell.energy[op])
+        self._close()
+
+    def text(self) -> str:
+        """Render the whole library."""
+        self._lines = []
+        self._depth = 0
+        self._open(f"library ({self.library.name})")
+        self._emit('delay_model : "table_lookup";')
+        self._emit('time_unit : "1ns";')
+        self._emit('capacitive_load_unit (1, ff);')
+        self._emit('leakage_power_unit : "1nW";')
+        self._emit(f'/* technology : {self.library.tech_name} */')
+        for name in sorted(self.library.cells):
+            self._write_cell(self.library.cells[name])
+        self._close()
+        return "\n".join(self._lines) + "\n"
+
+
+def write_liberty(library: LibraryModel, path: str) -> None:
+    """Write ``library`` to ``path`` in Liberty format."""
+    text = LibertyWriter(library).text()
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)

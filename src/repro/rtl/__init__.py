@@ -1,0 +1,56 @@
+"""Structural RTL substrate: modules, generators, memories, simulation."""
+
+from .components import (
+    and2,
+    and_tree,
+    buf,
+    decoder,
+    encode_onehot,
+    equals,
+    full_adder,
+    inv,
+    multiplier,
+    mux2,
+    mux_tree,
+    nand2,
+    nor2,
+    onehot_mux,
+    or2,
+    or_tree,
+    priority_encoder,
+    register,
+    ripple_adder,
+    xnor2,
+    xor2,
+)
+from .fifo import build_sorted_fifo, sorted_fifo_reference
+from .memory import build_cam, build_sram, fig3_sram
+from .module import (
+    CellRef,
+    FlatCell,
+    FlatNetlist,
+    Module,
+    ModuleRef,
+    Port,
+    elaborate,
+)
+from .signals import Bus, Net, as_bus, bits_to_int, int_to_bits
+from .simulate import Activity, LogicSimulator
+from .spgemm_datapath import build_update_datapath, \
+    update_datapath_reference
+from .verilog import emit_hierarchy, emit_module
+
+__all__ = [
+    "and2", "and_tree", "buf", "decoder", "encode_onehot", "equals",
+    "full_adder", "inv", "multiplier", "mux2", "mux_tree", "nand2",
+    "nor2", "onehot_mux", "or2", "or_tree", "priority_encoder",
+    "register", "ripple_adder", "xnor2", "xor2",
+    "build_cam", "build_sram", "fig3_sram",
+    "build_sorted_fifo", "sorted_fifo_reference",
+    "CellRef", "FlatCell", "FlatNetlist", "Module", "ModuleRef", "Port",
+    "elaborate",
+    "Bus", "Net", "as_bus", "bits_to_int", "int_to_bits",
+    "Activity", "LogicSimulator",
+    "build_update_datapath", "update_datapath_reference",
+    "emit_hierarchy", "emit_module",
+]

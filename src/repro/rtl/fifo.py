@@ -1,0 +1,142 @@
+"""Gate-level sorted-FIFO insertion stage (the baseline chip's core).
+
+The non-LiM SpGEMM chip builds its priority queue "by first-in first-out
+(FIFO) based SRAMs", and pays for it: "FIFO SRAMs cause latency problems
+due to sequential read/write operations for shifting".  This module
+synthesizes one stage of that structure — a register slot with the
+insertion comparator and shift mux — and chains ``depth`` of them into a
+:func:`build_sorted_fifo`: on every insert, each stage keeps, takes the
+new entry, or takes its neighbour's entry, so the queue stays sorted by
+key while physically shifting, which is exactly the per-element cost the
+CAM architecture eliminates.
+
+The functional tests race it against a Python ``bisect.insort`` model;
+the Fig. 5/6 story then rests on two *synthesizable* datapaths, one per
+chip.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..errors import RTLError
+from .components import and2, inv, mux2, or2, register, xnor2
+from .module import Module
+from .signals import Bus, Net, as_bus
+
+
+def _less_than(m: Module, a: Bus, b: Bus, prefix: str) -> Net:
+    """Unsigned a < b comparator (ripple borrow from the LSB)."""
+    if a.width != b.width:
+        raise RTLError("comparator widths must match")
+    # borrow chain: lt_i = (~a_i & b_i) | (a_i XNOR b_i) & lt_{i-1}
+    lt = as_bus(m.constant(0))[0]
+    for i in range(a.width):
+        not_a = inv(m, a[i], prefix + f"_na{i}")
+        bit_lt = and2(m, not_a, b[i], prefix + f"_bl{i}")
+        bit_eq = xnor2(m, a[i], b[i], prefix + f"_eq{i}")
+        carry = and2(m, bit_eq, lt, prefix + f"_cy{i}")
+        lt = or2(m, bit_lt, carry, prefix + f"_lt{i}")
+    return lt
+
+
+def build_sorted_fifo(depth: int, key_bits: int) -> Module:
+    """A ``depth``-deep insertion-sorted queue of ``key_bits`` keys.
+
+    Ports: ``clk``, ``insert`` (enable), ``key_in``; outputs ``keys``
+    (all slots, slot 0 = smallest, concatenated LSB-first) and
+    ``valid`` (per-slot occupancy).  Every insert shifts the tail —
+    all ``depth`` slots switch, the energy/latency signature the paper
+    pins on the baseline.
+    """
+    if depth < 2:
+        raise RTLError("sorted FIFO needs at least two slots")
+    m = Module(f"sorted_fifo_{depth}x{key_bits}")
+    clk = m.input("clk")
+    insert = m.input("insert")
+    key_in = as_bus(m.input("key_in", key_bits))
+    keys_out = as_bus(m.output("keys", depth * key_bits))
+    valid_out = as_bus(m.output("valid", depth))
+
+    # Current state registers (declared first; next-state logic below).
+    slot_q: List[Bus] = []
+    valid_q: List[Net] = []
+    slot_d: List[Bus] = []
+    valid_d: List[Net] = []
+
+    # Build placeholder wires for current values via registers at the
+    # end; to break the chicken-and-egg, create the D wires now.
+    for s in range(depth):
+        slot_d.append(as_bus(m.wire(f"slot_d{s}", key_bits)))
+        valid_d.append(m.wire(f"valid_d{s}"))
+    for s in range(depth):
+        slot_q.append(as_bus(register(m, slot_d[s], clk,
+                                      prefix=f"slotq{s}")))
+        valid_q.append(register(m, valid_d[s], clk,
+                                prefix=f"validq{s}"))
+
+    # Insertion position: new key goes before the first slot whose key
+    # is greater (or which is empty).
+    goes_before: List[Net] = []
+    for s in range(depth):
+        lt = _less_than(m, key_in, slot_q[s], f"cmp{s}")
+        empty = inv(m, valid_q[s], f"emp{s}")
+        goes_before.append(or2(m, lt, empty, f"gb{s}"))
+    # before_here[s] = this is the first such slot: goes_before[s] and
+    # not any earlier.
+    earlier = goes_before[0]
+    before_here: List[Net] = [goes_before[0]]
+    for s in range(1, depth):
+        not_earlier = inv(m, earlier, f"ne{s}")
+        before_here.append(and2(m, goes_before[s], not_earlier,
+                                f"bh{s}"))
+        earlier = or2(m, earlier, goes_before[s], f"ea{s}")
+
+    # at_or_after[s]: the insertion point is at or before slot s, so
+    # slot s either takes the new key or its left neighbour's key.
+    at_or_after: List[Net] = []
+    acc = before_here[0]
+    at_or_after.append(acc)
+    for s in range(1, depth):
+        acc = or2(m, acc, before_here[s], f"aoa{s}")
+        at_or_after.append(acc)
+
+    for s in range(depth):
+        take_new = and2(m, insert, before_here[s], f"tn{s}")
+        shift = and2(m, insert, at_or_after[s], f"sh{s}")
+        prev_key = slot_q[s - 1] if s > 0 else key_in
+        prev_valid = valid_q[s - 1] if s > 0 else \
+            as_bus(m.constant(1))[0]
+        for b in range(key_bits):
+            # shifted value: previous slot's key (or the new key at the
+            # insertion point itself).
+            shifted_bit = mux2(m, prev_key[b], key_in[b], take_new,
+                               f"sb{s}_{b}")
+            m.alias(as_bus(slot_d[s][b]),
+                    as_bus(mux2(m, slot_q[s][b], shifted_bit, shift,
+                                f"sd{s}_{b}")))
+        shifted_valid = mux2(m, prev_valid, as_bus(m.constant(1))[0],
+                             take_new, f"sv{s}")
+        m.alias(as_bus(valid_d[s]),
+                as_bus(mux2(m, valid_q[s], shifted_valid, shift,
+                            f"vd{s}")))
+
+    for s in range(depth):
+        for b in range(key_bits):
+            m.alias(as_bus(keys_out[s * key_bits + b]),
+                    as_bus(slot_q[s][b]))
+        m.alias(as_bus(valid_out[s]), as_bus(valid_q[s]))
+    return m
+
+
+def sorted_fifo_reference(keys: List[int], depth: int) -> Tuple[
+        List[int], List[bool]]:
+    """Python semantics: insert keys in order, keep the smallest
+    ``depth`` sorted (overflowing keys fall off the tail)."""
+    import bisect
+    state: List[int] = []
+    for key in keys:
+        bisect.insort(state, key)
+        state = state[:depth]
+    valid = [True] * len(state) + [False] * (depth - len(state))
+    return state + [0] * (depth - len(state)), valid

@@ -1,0 +1,149 @@
+"""Smart-memory macro builders (the RTL of Fig. 3).
+
+:func:`build_sram` reproduces the paper's canonical example: a 1R1W SRAM
+described structurally from stacked memory bricks plus standard-cell
+decoders, with partition-enable gating ("only the bank with the read
+address hit is activated during read") and a bank output mux.
+:func:`build_cam` builds the CAM equivalent used by the SpGEMM
+architecture's index arrays.
+
+These builders are parameterized by a :class:`~repro.bricks.stack.
+BankConfig`, which is exactly the knob set the paper's design-space
+exploration sweeps (brick size, stacking, partitioning).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from ..bricks.library import bank_cell_name
+from ..bricks.stack import BankConfig
+from ..errors import RTLError
+from .components import and2, decoder, onehot_mux, or_tree, register
+from .module import Module
+from .signals import Bus, as_bus
+
+
+def _log2(n: int, what: str) -> int:
+    bits = max(1, math.ceil(math.log2(n))) if n > 1 else 0
+    if n != (1 << bits) and n != 1:
+        raise RTLError(f"{what} must be a power of two, got {n}")
+    return bits
+
+
+def build_sram(config: BankConfig, registered_output: bool = False
+               ) -> Module:
+    """Build a 1R1W SRAM from stacked bricks (Fig. 3, generalized).
+
+    Ports: ``clk``, ``raddr``, ``waddr``, ``we``, ``din``, ``dout``.
+    The brick macro cell ``<brick>_s<stack>`` must exist in the library
+    the module is later elaborated against.
+
+    With ``partitions == 1`` this is configs A-D of the test chip; with
+    more partitions it is config E: per-partition decoders are gated by
+    the partition-select one-hot so only the hit bank fires, and a
+    one-hot output mux assembles ``dout``.
+    """
+    words, bits = config.words, config.bits
+    part_words = config.words_per_partition
+    addr_bits = _log2(words, "total words")
+    part_addr_bits = _log2(part_words, "partition words")
+    psel_bits = addr_bits - part_addr_bits
+
+    m = Module(f"sram_{words}x{bits}_p{config.partitions}"
+               f"_{config.brick.name}")
+    clk = m.input("clk")
+    raddr_in = as_bus(m.input("raddr", addr_bits))
+    waddr_in = as_bus(m.input("waddr", addr_bits))
+    we = m.input("we")
+    din = as_bus(m.input("din", bits))
+    dout = as_bus(m.output("dout", bits))
+    # Buffer the address inputs: the decoder fan-out (one minterm gate
+    # per word) must be paid for by a real driver, which is where a big
+    # single-partition memory loses to a partitioned one (Fig. 4b D vs E).
+    from .components import buf as _buf
+    raddr = Bus([_buf(m, bit, "rabuf") for bit in raddr_in])
+    waddr = Bus([_buf(m, bit, "wabuf") for bit in waddr_in])
+
+    cell_name = bank_cell_name(config.brick, config.stack)
+
+    if config.partitions == 1:
+        rdec = decoder(m, raddr, prefix="rdec")
+        wdec = decoder(m, waddr, prefix="wdec")
+        arbl = as_bus(m.wire("arbl", bits))
+        m.cell("bank0", cell_name, {
+            "CLK": clk, "RWL": rdec, "WWL": wdec,
+            "WBL": din, "WE": we, "ARBL": arbl,
+        })
+        out = arbl
+    else:
+        low_r = raddr[:part_addr_bits]
+        low_w = waddr[:part_addr_bits]
+        psel_r = decoder(m, raddr[part_addr_bits:], prefix="pselr")
+        psel_w = decoder(m, waddr[part_addr_bits:], prefix="pselw")
+        bank_outputs: List[Bus] = []
+        for p in range(config.partitions):
+            rdec = decoder(m, low_r, en=psel_r[p], prefix=f"rdec{p}")
+            wdec = decoder(m, low_w, en=psel_w[p], prefix=f"wdec{p}")
+            we_p = and2(m, we, psel_w[p], f"weg{p}")
+            arbl = as_bus(m.wire(f"arbl{p}", bits))
+            m.cell(f"bank{p}", cell_name, {
+                "CLK": clk, "RWL": rdec, "WWL": wdec,
+                "WBL": din, "WE": we_p, "ARBL": arbl,
+            })
+            bank_outputs.append(arbl)
+        out = onehot_mux(m, bank_outputs, psel_r, prefix="obm")
+
+    if registered_output:
+        out = as_bus(register(m, out, clk, prefix="oreg"))
+    m.alias(dout, out)
+    return m
+
+
+def build_cam(config: BankConfig) -> Module:
+    """Build a CAM bank: write port plus single-cycle match port.
+
+    Ports: ``clk``, ``waddr``, ``we``, ``wdata`` (stores entries);
+    ``key`` (search word); outputs ``ml`` (per-word match lines) and
+    ``hit`` (any-match flag).  This is the building block of the paper's
+    horizontal/vertical CAM SpGEMM architecture (Fig. 5).
+    """
+    if config.brick.memory_type != "CAM":
+        raise RTLError("build_cam requires a CAM brick")
+    if config.partitions != 1:
+        raise RTLError("CAM banks are single-partition in this flow")
+    words, bits = config.words, config.bits
+    addr_bits = _log2(words, "CAM words")
+
+    m = Module(f"cam_{words}x{bits}_{config.brick.name}")
+    clk = m.input("clk")
+    waddr = as_bus(m.input("waddr", addr_bits))
+    we = m.input("we")
+    wdata = as_bus(m.input("wdata", bits))
+    key = as_bus(m.input("key", bits))
+    ml = as_bus(m.output("ml", words))
+    hit = m.output("hit")
+
+    wdec = decoder(m, waddr, prefix="wdec")
+    # CAM bricks still expose the read port; tie the read wordlines off.
+    rwl = as_bus(m.constant(0, words))
+    arbl = as_bus(m.wire("arbl", bits))
+    ml_int = as_bus(m.wire("ml_int", words))
+    m.cell("cam0", bank_cell_name(config.brick, config.stack), {
+        "CLK": clk, "RWL": rwl, "WWL": wdec, "WBL": wdata,
+        "WE": we, "ARBL": arbl, "SL": key, "ML": ml_int,
+    })
+    m.alias(ml, ml_int)
+    any_hit = or_tree(m, list(ml_int), prefix="hit")
+    m.alias(as_bus(hit), as_bus(any_hit))
+    return m
+
+
+def fig3_sram() -> Tuple[Module, BankConfig]:
+    """The literal Fig. 3 design: 32x10 bit 1R1W SRAM from two stacked
+    16x10 bit 8T bricks with 5-to-32 standard-cell decoders."""
+    from ..bricks.spec import sram_brick
+    from ..bricks.stack import single_partition
+    config = single_partition(sram_brick(16, 10), 32)
+    return build_sram(config), config

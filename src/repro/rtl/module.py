@@ -1,0 +1,381 @@
+"""Structural modules, instances and elaboration to a flat netlist.
+
+A :class:`Module` holds ports, nets, standard-cell/brick instances and
+submodule instances; :func:`elaborate` flattens a hierarchy against a
+:class:`~repro.liberty.models.LibraryModel` into a :class:`FlatNetlist`,
+the common input of the logic simulator, placer, router, STA and power
+engines — the way a gate-level Verilog netlist plus .lib files feed the
+paper's flow.
+
+Constants: ``module.constant(value, width)`` creates nets tied to 0/1;
+tie cells are materialized at elaboration as pseudo-drivers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from ..errors import RTLError
+from ..liberty.models import CellModel, LibraryModel
+from .signals import Bit, Bus, Net, Signal, as_bus, int_to_bits
+
+IN = "in"
+OUT = "out"
+
+#: Brick macro pins that accept buses: representative library pin -> True.
+_BRICK_BUS_PINS = {"RWL", "WWL", "WBL", "ARBL", "SL", "ML"}
+
+
+@dataclass
+class Port:
+    name: str
+    direction: str
+    signal: Signal
+
+    @property
+    def width(self) -> int:
+        return 1 if isinstance(self.signal, Net) else self.signal.width
+
+
+@dataclass
+class CellRef:
+    """An instance of a library cell inside a module.
+
+    ``conns`` maps pin names to nets.  Brick macros may map a bus pin
+    name (e.g. ``"RWL"``) to a :class:`Bus`; elaboration expands it to
+    ``RWL[0] .. RWL[n-1]``.
+    """
+
+    name: str
+    cell_type: str
+    conns: Dict[str, Signal]
+
+
+@dataclass
+class ModuleRef:
+    name: str
+    module: "Module"
+    conns: Dict[str, Signal]
+
+
+class Module:
+    """A structural netlist module."""
+
+    def __init__(self, name: str):
+        if not name:
+            raise RTLError("module name must be non-empty")
+        self.name = name
+        self.ports: Dict[str, Port] = {}
+        self.cells: List[CellRef] = []
+        self.children: List[ModuleRef] = []
+        self._net_names: Set[str] = set()
+        self._cell_names: Set[str] = set()
+        self._uid = 0
+        #: nets tied to constants: net -> bool value
+        self.constants: Dict[Net, bool] = {}
+        #: net alias pairs (a, b) connected together
+        self.aliases: List[Tuple[Net, Net]] = []
+
+    # --- net and port creation ------------------------------------------------
+
+    def _new_net(self, name: str) -> Net:
+        if name in self._net_names:
+            raise RTLError(f"duplicate net {name!r} in {self.name}")
+        self._net_names.add(name)
+        return Net(name, self.name)
+
+    def wire(self, name: str, width: int = 1) -> Signal:
+        """Create an internal net (width 1) or bus."""
+        if width < 1:
+            raise RTLError("width must be >= 1")
+        if width == 1:
+            return self._new_net(name)
+        return Bus([self._new_net(f"{name}[{i}]") for i in range(width)])
+
+    def uniq(self, prefix: str) -> str:
+        """A unique instance/net name with the given prefix."""
+        self._uid += 1
+        return f"{prefix}_{self._uid}"
+
+    def _port(self, name: str, direction: str, width: int) -> Signal:
+        if name in self.ports:
+            raise RTLError(f"duplicate port {name!r} in {self.name}")
+        signal = self.wire(name, width)
+        self.ports[name] = Port(name, direction, signal)
+        return signal
+
+    def input(self, name: str, width: int = 1) -> Signal:
+        return self._port(name, IN, width)
+
+    def output(self, name: str, width: int = 1) -> Signal:
+        return self._port(name, OUT, width)
+
+    def constant(self, value: int, width: int = 1) -> Signal:
+        """Nets tied to a constant value."""
+        signal = self.wire(self.uniq(f"const{value}"), width)
+        bits = int_to_bits(value, width)
+        for net, bit in zip(as_bus(signal), bits):
+            self.constants[net] = bit
+        return signal
+
+    def alias(self, a: Signal, b: Signal) -> None:
+        """Connect two equal-width signals (Verilog ``assign a = b``)."""
+        bus_a, bus_b = as_bus(a), as_bus(b)
+        if bus_a.width != bus_b.width:
+            raise RTLError(
+                f"alias width mismatch: {bus_a.width} vs {bus_b.width}")
+        for net_a, net_b in zip(bus_a, bus_b):
+            self.aliases.append((net_a, net_b))
+
+    # --- instantiation ------------------------------------------------------------
+
+    def cell(self, name: str, cell_type: str,
+             conns: Dict[str, Signal]) -> CellRef:
+        """Instantiate a library cell (standard cell or brick macro)."""
+        if name in self._cell_names:
+            raise RTLError(f"duplicate instance {name!r} in {self.name}")
+        self._cell_names.add(name)
+        ref = CellRef(name, cell_type, dict(conns))
+        self.cells.append(ref)
+        return ref
+
+    def instance(self, name: str, module: "Module",
+                 conns: Dict[str, Signal]) -> ModuleRef:
+        """Instantiate a submodule, binding its ports to parent signals."""
+        if name in self._cell_names:
+            raise RTLError(f"duplicate instance {name!r} in {self.name}")
+        self._cell_names.add(name)
+        for port_name, signal in conns.items():
+            if port_name not in module.ports:
+                raise RTLError(
+                    f"{module.name} has no port {port_name!r}")
+            expected = module.ports[port_name].width
+            actual = 1 if isinstance(signal, Net) else signal.width
+            if expected != actual:
+                raise RTLError(
+                    f"width mismatch binding {module.name}.{port_name}: "
+                    f"port is {expected} bits, signal is {actual}")
+        missing = set(module.ports) - set(conns)
+        if missing:
+            raise RTLError(
+                f"unbound ports on {module.name}: {sorted(missing)}")
+        ref = ModuleRef(name, module, dict(conns))
+        self.children.append(ref)
+        return ref
+
+
+# --- flat netlist --------------------------------------------------------------
+
+
+@dataclass
+class FlatCell:
+    """A flattened cell instance with pin-to-net-id connections."""
+
+    name: str
+    model: CellModel
+    pins: Dict[str, int]  # expanded pin name ("RWL[3]", "A") -> net id
+
+    def base_pin(self, pin: str) -> str:
+        """Strip a bus index: ``"RWL[3]"`` -> ``"RWL"``."""
+        return pin.split("[", 1)[0]
+
+
+@dataclass
+class FlatNetlist:
+    """The elaborated design: globally numbered nets and flat cells."""
+
+    name: str
+    net_names: List[str]
+    cells: List[FlatCell]
+    inputs: Dict[str, List[int]]   # top port -> net ids (LSB first)
+    outputs: Dict[str, List[int]]
+    constants: Dict[int, bool]
+
+    @property
+    def n_nets(self) -> int:
+        return len(self.net_names)
+
+    def drivers(self) -> Dict[int, Tuple[str, str]]:
+        """Map net id -> (cell name, output pin) of its driver."""
+        result: Dict[int, Tuple[str, str]] = {}
+        for cell in self.cells:
+            for pin, net in cell.pins.items():
+                if cell.model.pins[cell.base_pin(pin)].direction == "output":
+                    if net in result:
+                        raise RTLError(
+                            f"net {self.net_names[net]} driven by both "
+                            f"{result[net][0]} and {cell.name}")
+                    result[net] = (cell.name, pin)
+        return result
+
+    def loads(self) -> Dict[int, List[Tuple[str, str]]]:
+        """Map net id -> [(cell name, input pin)] of its sinks."""
+        result: Dict[int, List[Tuple[str, str]]] = {}
+        for cell in self.cells:
+            for pin, net in cell.pins.items():
+                direction = cell.model.pins[cell.base_pin(pin)].direction
+                if direction != "output":
+                    result.setdefault(net, []).append((cell.name, pin))
+        return result
+
+    def validate(self) -> None:
+        """Single-driver check plus undriven-net detection."""
+        driven = set(self.drivers())
+        driven.update(self.constants)
+        for port_nets in self.inputs.values():
+            driven.update(port_nets)
+        loads = self.loads()
+        undriven = [self.net_names[n] for n in loads if n not in driven]
+        if undriven:
+            raise RTLError(
+                f"nets with loads but no driver: {undriven[:8]}"
+                + ("..." if len(undriven) > 8 else ""))
+
+    def stats(self) -> Dict[str, int]:
+        bricks = sum(1 for c in self.cells if c.model.is_brick)
+        seq = sum(1 for c in self.cells
+                  if c.model.sequential and not c.model.is_brick)
+        return {
+            "nets": self.n_nets,
+            "cells": len(self.cells),
+            "bricks": bricks,
+            "flops": seq,
+            "combinational": len(self.cells) - bricks - seq,
+        }
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self.parent: Dict[int, int] = {}
+
+    def find(self, x: int) -> int:
+        root = x
+        while self.parent.get(root, root) != root:
+            root = self.parent[root]
+        while self.parent.get(x, x) != x:
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[max(ra, rb)] = min(ra, rb)
+
+
+def _expand_cell_conns(ref: CellRef, model: CellModel
+                       ) -> Dict[str, Net]:
+    """Expand bus connections on brick macros to indexed pin names."""
+    expanded: Dict[str, Net] = {}
+    for pin, signal in ref.conns.items():
+        base = pin.split("[", 1)[0]
+        if base not in model.pins:
+            raise RTLError(
+                f"cell {ref.name} ({model.name}) has no pin {base!r}")
+        if isinstance(signal, Bus):
+            if base not in _BRICK_BUS_PINS or not model.is_brick:
+                if signal.width == 1:
+                    expanded[pin] = signal[0]
+                    continue
+                raise RTLError(
+                    f"pin {pin!r} of {model.name} is 1-bit; got a "
+                    f"{signal.width}-bit bus")
+            for i, net in enumerate(signal):
+                expanded[f"{base}[{i}]"] = net
+        else:
+            expanded[pin] = signal
+    return expanded
+
+
+def elaborate(top: Module, library: LibraryModel) -> FlatNetlist:
+    """Flatten a module hierarchy into a :class:`FlatNetlist`.
+
+    Net names are hierarchical (``u_dec.n_3``); ports of submodules merge
+    with their parent nets.  Aliases and port bindings are resolved with a
+    union-find so each electrical net gets exactly one id.
+    """
+    net_ids: Dict[Tuple[int, str], int] = {}
+    net_names: List[str] = []
+    uf = _UnionFind()
+    constants: Dict[int, bool] = {}
+    cells: List[FlatCell] = []
+
+    def net_id(scope_id: int, prefix: str, net: Net) -> int:
+        key = (scope_id, net.name)
+        if key not in net_ids:
+            net_ids[key] = len(net_names)
+            net_names.append(prefix + net.name)
+        return net_ids[key]
+
+    scope_counter = [0]
+
+    def walk(module: Module, prefix: str, scope_id: int,
+             bindings: Dict[str, int]) -> None:
+        # bindings: this module's port net name -> parent net id.
+        for net_name, parent_id in bindings.items():
+            key = (scope_id, net_name)
+            net_ids[key] = parent_id
+        for net, value in module.constants.items():
+            nid = uf.find(net_id(scope_id, prefix, net))
+            constants[nid] = value
+        for net_a, net_b in module.aliases:
+            uf.union(net_id(scope_id, prefix, net_a),
+                     net_id(scope_id, prefix, net_b))
+        for ref in module.cells:
+            model = library.cell(ref.cell_type)
+            expanded = _expand_cell_conns(ref, model)
+            pins = {pin: net_id(scope_id, prefix, net)
+                    for pin, net in expanded.items()}
+            cells.append(FlatCell(prefix + ref.name, model, pins))
+        for child in module.children:
+            scope_counter[0] += 1
+            child_scope = scope_counter[0]
+            child_bindings: Dict[str, int] = {}
+            for port_name, signal in child.conns.items():
+                port = child.module.ports[port_name]
+                parent_bits = as_bus(signal).bits()
+                port_bits = as_bus(port.signal).bits()
+                for p_net, c_net in zip(parent_bits, port_bits):
+                    child_bindings[c_net.name] = net_id(
+                        scope_id, prefix, p_net)
+            walk(child.module, prefix + child.name + ".", child_scope,
+                 child_bindings)
+
+    inputs: Dict[str, List[int]] = {}
+    outputs: Dict[str, List[int]] = {}
+    walk(top, "", 0, {})
+    for port in top.ports.values():
+        # net_id creates ids on demand: ports nothing references (e.g.
+        # an unused clock on a purely combinational block) still exist.
+        ids = [net_id(0, "", net) for net in as_bus(port.signal)]
+        if port.direction == IN:
+            inputs[port.name] = ids
+        else:
+            outputs[port.name] = ids
+
+    # Resolve union-find: compact net ids.
+    remap: Dict[int, int] = {}
+    final_names: List[str] = []
+
+    def resolve(nid: int) -> int:
+        root = uf.find(nid)
+        if root not in remap:
+            remap[root] = len(final_names)
+            final_names.append(net_names[root])
+        return remap[root]
+
+    flat_cells = [
+        FlatCell(c.name, c.model,
+                 {pin: resolve(nid) for pin, nid in c.pins.items()})
+        for c in cells
+    ]
+    flat = FlatNetlist(
+        name=top.name,
+        net_names=final_names,
+        cells=flat_cells,
+        inputs={k: [resolve(n) for n in v] for k, v in inputs.items()},
+        outputs={k: [resolve(n) for n in v] for k, v in outputs.items()},
+        constants={resolve(n): v for n, v in constants.items()},
+    )
+    flat.validate()
+    return flat

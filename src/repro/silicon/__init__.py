@@ -1,0 +1,25 @@
+"""Silicon emulation: process variation, test chip, measurement."""
+
+from .measure import (
+    ChipMeasurement,
+    ConfigMeasurements,
+    CornerSimulation,
+    measure_chips,
+    simulate_corners,
+)
+from .testchip import (
+    CONFIG_NAMES,
+    build_config,
+    config_bank,
+    read_stimulus,
+    run_config_flow,
+)
+from .variation import ChipSample, VariationModel
+
+__all__ = [
+    "ChipMeasurement", "ConfigMeasurements", "CornerSimulation",
+    "measure_chips", "simulate_corners",
+    "CONFIG_NAMES", "build_config", "config_bank", "read_stimulus",
+    "run_config_flow",
+    "ChipSample", "VariationModel",
+]

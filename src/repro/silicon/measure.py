@@ -1,0 +1,129 @@
+"""Chip "measurement" harness for Fig. 4b.
+
+For every test-chip configuration this module produces the two sides the
+paper overlays:
+
+* *measurements*: the detailed model evaluated at each sampled die's
+  perturbed technology (plus tester noise), aggregated as mean with
+  min/max bars — the role of the multi-chip silicon data;
+* *simulations*: the flow evaluated with libraries generated at the
+  best/nominal/worst corner technologies — the role of the PrimeTime
+  runs on estimated brick libraries.
+
+Fig. 4b's claim is that the second tracks the first across
+configurations; the benchmark asserts exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import SiliconError
+from ..tech.corners import BEST, NOMINAL, WORST
+from ..tech.technology import Technology
+from .testchip import CONFIG_NAMES, run_config_flow
+from .variation import ChipSample, VariationModel
+
+
+@dataclass(frozen=True)
+class ChipMeasurement:
+    """One die's measured operating point for one configuration."""
+
+    chip_id: int
+    fmax_hz: float
+    power_w: float
+    energy_per_cycle_j: float
+
+
+@dataclass
+class ConfigMeasurements:
+    """All dies' measurements for one configuration."""
+
+    config: str
+    chips: List[ChipMeasurement]
+
+    @property
+    def mean_fmax(self) -> float:
+        return sum(c.fmax_hz for c in self.chips) / len(self.chips)
+
+    @property
+    def min_fmax(self) -> float:
+        return min(c.fmax_hz for c in self.chips)
+
+    @property
+    def max_fmax(self) -> float:
+        return max(c.fmax_hz for c in self.chips)
+
+    @property
+    def mean_energy(self) -> float:
+        return sum(c.energy_per_cycle_j for c in self.chips) / \
+            len(self.chips)
+
+
+@dataclass(frozen=True)
+class CornerSimulation:
+    """Library-based flow results at best/nominal/worst corners."""
+
+    config: str
+    fmax_best: float
+    fmax_nominal: float
+    fmax_worst: float
+    energy_nominal: float
+
+
+def measure_chips(configs: Sequence[str], tech: Technology,
+                  n_chips: int = 8,
+                  variation: Optional[VariationModel] = None,
+                  seed: int = 65,
+                  anneal_moves: int = 2000
+                  ) -> Dict[str, ConfigMeasurements]:
+    """Emulate multi-chip measurement of the test-chip configurations.
+
+    Every die re-runs the full flow (library regeneration included) at
+    its perturbed technology — dies are physical objects, and their
+    periphery, bricks and wires all shift together.
+    """
+    if variation is None:
+        variation = VariationModel()
+    samples = variation.sample(n_chips, seed=seed)
+    results: Dict[str, ConfigMeasurements] = {}
+    for config in configs:
+        chips: List[ChipMeasurement] = []
+        for sample in samples:
+            die_tech = sample.apply(tech)
+            flow = run_config_flow(config, die_tech,
+                                   anneal_moves=anneal_moves)
+            fmax = flow.fmax * sample.measurement_noise
+            chips.append(ChipMeasurement(
+                chip_id=sample.chip_id,
+                fmax_hz=fmax,
+                power_w=flow.power.total_w,
+                energy_per_cycle_j=flow.power.energy_per_cycle,
+            ))
+        results[config] = ConfigMeasurements(config, chips)
+    return results
+
+
+def simulate_corners(configs: Sequence[str], tech: Technology,
+                     anneal_moves: int = 2000
+                     ) -> Dict[str, CornerSimulation]:
+    """Library-based corner simulations (the Fig. 4b overlay)."""
+    results: Dict[str, CornerSimulation] = {}
+    for config in configs:
+        best = run_config_flow(config, BEST.apply(tech),
+                               with_power=False,
+                               anneal_moves=anneal_moves)
+        nominal = run_config_flow(config, tech,
+                                  anneal_moves=anneal_moves)
+        worst = run_config_flow(config, WORST.apply(tech),
+                                with_power=False,
+                                anneal_moves=anneal_moves)
+        results[config] = CornerSimulation(
+            config=config,
+            fmax_best=best.fmax,
+            fmax_nominal=nominal.fmax,
+            fmax_worst=worst.fmax,
+            energy_nominal=nominal.power.energy_per_cycle,
+        )
+    return results

@@ -1,0 +1,30 @@
+"""Smart-memory gallery (Section 2.2 of the paper).
+
+The customized smart memories the paper cites as precursors of the LiM
+methodology, built on this package's own substrates: the parallel-access
+memory of reference [7] and the LiM interpolation seed table of
+reference [13].
+"""
+
+from .interpolation import (
+    InterpolationMemory,
+    InterpolationStats,
+    build_seed_table,
+    max_interpolation_error,
+    polar_to_rect_resample,
+    storage_saving,
+)
+from .parallel_access import (
+    ParallelAccessMemory,
+    SmartMemError,
+    WindowGeometry,
+    access_cost_comparison,
+)
+
+__all__ = [
+    "InterpolationMemory", "InterpolationStats", "build_seed_table",
+    "max_interpolation_error", "polar_to_rect_resample",
+    "storage_saving",
+    "ParallelAccessMemory", "SmartMemError", "WindowGeometry",
+    "access_cost_comparison",
+]

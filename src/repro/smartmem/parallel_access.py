@@ -1,0 +1,182 @@
+"""Parallel-access smart memory (reference [7] of the paper).
+
+Section 2.2: "The parallel access memory stores a 2D image pixel array
+with a size of K x L, and allows random access of pixels in a window of
+m x n in a single cycle."  The conventional ASIC realization distributes
+pixels over ``m*n`` independently addressed banks; the smart-memory
+version exploits the address-pattern commonality with shared, customized
+decoders — row decoders shared between banks activating ``n`` adjacent
+wordlines from a single address, plus a column decoder per bank group.
+
+This module provides:
+
+* :class:`ParallelAccessMemory` — a functional model with the classic
+  conflict-free bank mapping, verifying the single-cycle window-access
+  property structurally (every pixel of any aligned-or-not window lands
+  in a distinct bank);
+* :func:`access_cost_comparison` — the paper's point, quantified with
+  our own brick/standard-cell models: the shared-decoder smart memory
+  needs far fewer decoder instances and burns correspondingly less
+  periphery energy per window access than the naive banked design.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..bricks.compiler import compile_brick
+from ..bricks.estimator import estimate_brick
+from ..bricks.spec import BrickSpec
+from ..cells.stdcells import unit_input_cap
+from ..errors import ReproError
+from ..tech.technology import Technology
+
+
+class SmartMemError(ReproError):
+    """Invalid smart-memory configuration or access."""
+
+
+@dataclass(frozen=True)
+class WindowGeometry:
+    """K x L pixel array with single-cycle m x n window access."""
+
+    rows: int      # K
+    cols: int      # L
+    win_rows: int  # m
+    win_cols: int  # n
+
+    def __post_init__(self) -> None:
+        if self.win_rows >= self.rows or self.win_cols >= self.cols:
+            raise SmartMemError(
+                "window must be strictly smaller than the array "
+                "(m < K and n < L)")
+        if min(self.rows, self.cols, self.win_rows, self.win_cols) < 1:
+            raise SmartMemError("geometry must be positive")
+
+    @property
+    def n_banks(self) -> int:
+        return self.win_rows * self.win_cols
+
+    def bank_of(self, row: int, col: int) -> int:
+        """Conflict-free mapping: pixel -> bank index."""
+        return (row % self.win_rows) * self.win_cols + \
+            (col % self.win_cols)
+
+    def entry_of(self, row: int, col: int) -> int:
+        """Pixel -> entry within its bank (row-major over coarse
+        grid)."""
+        coarse_cols = math.ceil(self.cols / self.win_cols)
+        return (row // self.win_rows) * coarse_cols + \
+            (col // self.win_cols)
+
+    @property
+    def bank_entries(self) -> int:
+        return math.ceil(self.rows / self.win_rows) * \
+            math.ceil(self.cols / self.win_cols)
+
+
+class ParallelAccessMemory:
+    """Functional model of the [7] parallel-access memory.
+
+    Stores pixels bank-interleaved; :meth:`read_window` returns any
+    m x n window in "one cycle" — asserted structurally by checking the
+    window's pixels occupy pairwise-distinct banks on every access.
+    """
+
+    def __init__(self, geometry: WindowGeometry, pixel_bits: int = 10):
+        self.geometry = geometry
+        self.pixel_bits = pixel_bits
+        self._banks = np.zeros(
+            (geometry.n_banks, geometry.bank_entries), dtype=np.int64)
+        self.window_reads = 0
+        self.pixel_writes = 0
+
+    def write_image(self, image: np.ndarray) -> None:
+        """Load a full K x L image."""
+        g = self.geometry
+        image = np.asarray(image)
+        if image.shape != (g.rows, g.cols):
+            raise SmartMemError(
+                f"image must be {g.rows}x{g.cols}, got {image.shape}")
+        if image.min() < 0 or image.max() >= (1 << self.pixel_bits):
+            raise SmartMemError(
+                f"pixels must fit in {self.pixel_bits} bits")
+        for row in range(g.rows):
+            for col in range(g.cols):
+                self._banks[g.bank_of(row, col),
+                            g.entry_of(row, col)] = image[row, col]
+                self.pixel_writes += 1
+
+    def read_window(self, top: int, left: int) -> np.ndarray:
+        """Single-cycle m x n window at (top, left)."""
+        g = self.geometry
+        if not (0 <= top <= g.rows - g.win_rows
+                and 0 <= left <= g.cols - g.win_cols):
+            raise SmartMemError(
+                f"window at ({top}, {left}) leaves the array")
+        banks_touched = set()
+        window = np.zeros((g.win_rows, g.win_cols), dtype=np.int64)
+        for dr in range(g.win_rows):
+            for dc in range(g.win_cols):
+                row, col = top + dr, left + dc
+                bank = g.bank_of(row, col)
+                if bank in banks_touched:
+                    raise SmartMemError(
+                        "bank conflict — the interleaving is broken")
+                banks_touched.add(bank)
+                window[dr, dc] = self._banks[bank, g.entry_of(row,
+                                                              col)]
+        self.window_reads += 1
+        return window
+
+
+def access_cost_comparison(geometry: WindowGeometry, tech: Technology,
+                           pixel_bits: int = 10) -> Dict[str, float]:
+    """Quantify [7]'s claim with our brick models.
+
+    Conventional banked design: every one of the ``m*n`` banks carries
+    its own full decoder (``log2(entries)`` bits) and burns a decode +
+    read per window access.  Smart memory: row decoders shared between
+    the ``m`` bank rows (one decode activates ``n`` adjacent wordlines)
+    plus small column selectors — ``m + n`` decoder instances instead of
+    ``m * n``.
+
+    Returns per-window-access energy and decoder-count figures; the
+    smart design must win on both (asserted by the tests).
+    """
+    entries = geometry.bank_entries
+    words = 1 << max(1, math.ceil(math.log2(entries)))
+    brick = compile_brick(BrickSpec("8T", min(words, 256), pixel_bits),
+                          tech)
+    est = estimate_brick(brick, tech)
+    addr_bits = max(1, math.ceil(math.log2(words)))
+    c_unit = unit_input_cap(tech)
+    # Decoder energy model: one AND-tree output swing per minterm pair
+    # plus the address-line swings (consistent with rtl.decoder).
+    e_decode = (words * 0.5 + addr_bits * 4.0) * \
+        (3.0 * c_unit) * tech.vdd ** 2
+
+    n_banks = geometry.n_banks
+    conventional = {
+        "decoders": n_banks,
+        "energy_per_window": n_banks * (e_decode + est.read_energy),
+    }
+    shared = geometry.win_rows + geometry.win_cols
+    smart = {
+        "decoders": shared,
+        "energy_per_window": (shared * e_decode
+                              + n_banks * est.read_energy),
+    }
+    return {
+        "conventional_decoders": float(conventional["decoders"]),
+        "smart_decoders": float(smart["decoders"]),
+        "conventional_energy": conventional["energy_per_window"],
+        "smart_energy": smart["energy_per_window"],
+        "energy_saving": 1.0 - smart["energy_per_window"]
+        / conventional["energy_per_window"],
+        "read_energy_per_bank": est.read_energy,
+    }

@@ -1,0 +1,132 @@
+"""The Fig. 5 CAM-SpGEMM architecture: horizontal and vertical CAMs.
+
+"Row indices of each non-zero element are stored in a CAM array, and
+their corresponding values are stored in an SRAM array. By using
+single-cycle CAM matching for cross-checking the intersection of elements
+in A and B columns, 'multiply and add' or 'new entry' operation is
+decided and executed.  Since this architecture assembles row indices of
+each C column, it is called a 'horizontal CAM'.  A similar operation is
+performed for assembling C by using a single 'vertical CAM', which
+activates individual horizontal CAM blocks only if their corresponding
+column indices are matched."
+
+The geometry defaults are the silicon's: 32 horizontal CAMs of 16x10 bit
+index CAM + 16x10 bit value SRAM, one 32-entry vertical CAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import AcceleratorError
+
+
+@dataclass(frozen=True)
+class CAMGeometry:
+    """Array sizes of the CAM-SpGEMM core (Section 4 defaults)."""
+
+    n_hcams: int = 32       #: sub-block width N (columns in flight)
+    entries: int = 16       #: rows per horizontal CAM / value SRAM
+    index_bits: int = 10
+    data_bits: int = 10
+
+    def __post_init__(self) -> None:
+        if self.n_hcams < 1 or self.entries < 1:
+            raise AcceleratorError("CAM geometry must be positive")
+
+    @property
+    def max_row_index(self) -> int:
+        return (1 << self.index_bits) - 1
+
+
+class HorizontalCAM:
+    """One column assembler: row-index CAM + value SRAM.
+
+    ``slots`` maps row index -> value for the resident entries; overflow
+    beyond ``entries`` spills to an external partial buffer, which the
+    accelerator charges separately.
+    """
+
+    def __init__(self, geometry: CAMGeometry):
+        self.geometry = geometry
+        self.column: Optional[int] = None
+        self.slots: Dict[int, float] = {}
+        self.spilled: Dict[int, float] = {}
+
+    def bind(self, column: int) -> None:
+        """Assign this HCAM to assemble a C column."""
+        if self.slots or self.spilled:
+            raise AcceleratorError(
+                "binding a horizontal CAM that still holds entries")
+        self.column = column
+
+    @property
+    def occupancy(self) -> int:
+        return len(self.slots)
+
+    @property
+    def is_full(self) -> bool:
+        return self.occupancy >= self.geometry.entries
+
+    def match(self, row: int) -> bool:
+        """Single-cycle CAM match on a row index."""
+        return row in self.slots
+
+    def accumulate(self, row: int, product: float) -> str:
+        """Process one product: returns ``"update"``, ``"insert"`` or
+        ``"spill"`` (entry landed in the spill buffer after a flush)."""
+        if self.column is None:
+            raise AcceleratorError("horizontal CAM is unbound")
+        if row in self.slots:
+            self.slots[row] += product
+            return "update"
+        if self.is_full:
+            # Flush resident entries to the partial buffer; the
+            # accelerator charges the flush cycles.
+            for resident, value in self.slots.items():
+                self.spilled[resident] = self.spilled.get(resident, 0.0) \
+                    + value
+            self.slots.clear()
+            self.slots[row] = product
+            return "spill"
+        self.slots[row] = product
+        return "insert"
+
+    def drain(self) -> List[Tuple[int, float]]:
+        """Column finished: merge resident and spilled entries, sorted
+        by row, and reset."""
+        merged: Dict[int, float] = dict(self.spilled)
+        for row, value in self.slots.items():
+            merged[row] = merged.get(row, 0.0) + value
+        self.slots.clear()
+        self.spilled.clear()
+        self.column = None
+        return sorted(merged.items())
+
+
+class VerticalCAM:
+    """Column-index CAM activating horizontal CAMs.
+
+    Stores the column index resident in each HCAM slot; a match on an
+    incoming column index activates the corresponding HCAM in one cycle.
+    """
+
+    def __init__(self, geometry: CAMGeometry):
+        self.geometry = geometry
+        self.slots: List[Optional[int]] = [None] * geometry.n_hcams
+
+    def bind(self, slot: int, column: int) -> None:
+        if not 0 <= slot < self.geometry.n_hcams:
+            raise AcceleratorError(f"vertical CAM slot {slot} invalid")
+        self.slots[slot] = column
+
+    def release(self, slot: int) -> None:
+        self.slots[slot] = None
+
+    def match(self, column: int) -> Optional[int]:
+        """Single-cycle match: which HCAM holds this column?"""
+        for slot, resident in enumerate(self.slots):
+            if resident == column:
+                return slot
+        return None

@@ -1,0 +1,177 @@
+"""Row-tiled SpGEMM for matrices beyond the CAM's index space.
+
+The silicon's horizontal CAMs store 10-bit row indices, so a single pass
+can only assemble result columns with rows in [0, 1024).  Reference [12]
+decomposes large sparse matrices into sub-blocks mapped to DRAM rows;
+this module implements the row-tile dimension of that decomposition:
+
+    C = [ A_0 ; A_1 ; ... ] x B     (A_t = a horizontal stripe of A)
+
+Each stripe's product runs on the accelerator with stripe-local row
+indices (guaranteed to fit the CAM), and the stripes concatenate into C.
+Cycles, events and energy sum across stripes, plus a per-stripe swap
+overhead for re-streaming the stripe's A sub-blocks.
+
+Works with either accelerator (the heap baseline has the same on-chip
+index width).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import AcceleratorError
+from .cam_accelerator import AcceleratorRun
+from .sparse import CSCMatrix
+
+#: Cycles charged per stripe swap: drain/refill the on-chip A buffers.
+STRIPE_SWAP_CYCLES = 64
+
+
+def row_block(matrix: CSCMatrix, start: int, stop: int) -> CSCMatrix:
+    """Rows [start, stop) of a matrix, reindexed from zero."""
+    if not 0 <= start < stop <= matrix.n_rows:
+        raise AcceleratorError(
+            f"row block [{start}, {stop}) outside {matrix.n_rows} rows")
+    indptr = [0]
+    indices: List[int] = []
+    data: List[float] = []
+    for j in range(matrix.n_cols):
+        rows, values = matrix.column(j)
+        mask = (rows >= start) & (rows < stop)
+        indices.extend((rows[mask] - start).tolist())
+        data.extend(values[mask].tolist())
+        indptr.append(len(indices))
+    return CSCMatrix(stop - start, matrix.n_cols,
+                     np.array(indptr), np.array(indices, dtype=np.int64),
+                     np.array(data))
+
+
+def _stack_rows(stripes: List[CSCMatrix], n_cols: int) -> CSCMatrix:
+    """Vertically concatenate stripe results back into one matrix."""
+    total_rows = sum(s.n_rows for s in stripes)
+    indptr = [0]
+    indices: List[int] = []
+    data: List[float] = []
+    offsets = []
+    offset = 0
+    for stripe in stripes:
+        offsets.append(offset)
+        offset += stripe.n_rows
+    for j in range(n_cols):
+        for stripe, base in zip(stripes, offsets):
+            rows, values = stripe.column(j)
+            indices.extend((rows + base).tolist())
+            data.extend(values.tolist())
+        indptr.append(len(indices))
+    return CSCMatrix(total_rows, n_cols, np.array(indptr),
+                     np.array(indices, dtype=np.int64), np.array(data))
+
+
+def kblock_spgemm(accelerator, a: CSCMatrix, b: CSCMatrix,
+                  k_block: int,
+                  verify: bool = True) -> AcceleratorRun:
+    """Run C = sum_k A[:, kblk] x B[kblk, :] in inner-dimension blocks.
+
+    The second axis of the [12] decomposition: when A's columns (and
+    B's rows) exceed the on-chip source buffers, the product accumulates
+    over k-blocks.  Each block's partial product runs on the
+    accelerator; partials merge on the host side of the model, charged
+    one cycle per merged nonzero (the re-visit cost of re-loading a
+    column's partial back through the CAM).
+    """
+    if a.n_cols != b.n_rows:
+        raise AcceleratorError(
+            f"dimension mismatch: {a.shape} x {b.shape}")
+    if k_block < 1:
+        raise AcceleratorError("k_block must be >= 1")
+    total_cycles = 0
+    total_energy = 0.0
+    events: Dict[str, int] = {}
+    partial_dense = None
+    n_blocks = 0
+    for start in range(0, a.n_cols, k_block):
+        stop = min(start + k_block, a.n_cols)
+        a_blk = a.column_block(start, stop - start)
+        b_blk = row_block(b, start, stop)
+        run = accelerator.simulate(a_blk, b_blk, verify=verify)
+        total_cycles += run.cycles
+        total_energy += run.energy_j
+        for key, count in run.events.items():
+            events[key] = events.get(key, 0) + count
+        dense = run.result.to_dense()
+        partial_dense = dense if partial_dense is None \
+            else partial_dense + dense
+        # Merge cost: one cycle per partial nonzero folded in.
+        if n_blocks > 0:
+            merge = run.result.nnz
+            total_cycles += merge
+            total_energy += merge * \
+                accelerator.energy_model.background_per_cycle
+            events["partial_merges"] = \
+                events.get("partial_merges", 0) + merge
+        n_blocks += 1
+    events["k_blocks"] = n_blocks
+    result = CSCMatrix.from_dense(partial_dense)
+    return AcceleratorRun(
+        name="kblock",
+        cycles=total_cycles,
+        events=events,
+        result=result,
+        freq_hz=accelerator.energy_model.freq_hz,
+        energy_j=total_energy,
+    )
+
+
+def tiled_spgemm(accelerator, a: CSCMatrix, b: CSCMatrix,
+                 tile_rows: Optional[int] = None,
+                 verify: bool = True) -> AcceleratorRun:
+    """Run C = A x B in row stripes that fit the accelerator's index
+    space.
+
+    ``tile_rows`` defaults to the CAM geometry's addressable rows (1024
+    for the silicon's 10-bit index) when the accelerator exposes one,
+    else 1024.
+    """
+    if a.n_cols != b.n_rows:
+        raise AcceleratorError(
+            f"dimension mismatch: {a.shape} x {b.shape}")
+    if tile_rows is None:
+        geometry = getattr(accelerator, "geometry", None)
+        tile_rows = (geometry.max_row_index + 1) if geometry is not None \
+            else 1024
+    if tile_rows < 1:
+        raise AcceleratorError("tile_rows must be >= 1")
+
+    stripes: List[CSCMatrix] = []
+    total_cycles = 0
+    total_energy = 0.0
+    events: Dict[str, int] = {}
+    n_stripes = 0
+    for start in range(0, a.n_rows, tile_rows):
+        stop = min(start + tile_rows, a.n_rows)
+        stripe_a = row_block(a, start, stop)
+        run = accelerator.simulate(stripe_a, b, verify=verify)
+        stripes.append(run.result)
+        total_cycles += run.cycles + STRIPE_SWAP_CYCLES
+        total_energy += run.energy_j
+        for key, count in run.events.items():
+            events[key] = events.get(key, 0) + count
+        n_stripes += 1
+    events["stripe_swaps"] = n_stripes
+
+    result = _stack_rows(stripes, b.n_cols)
+    return AcceleratorRun(
+        name=f"tiled_{getattr(accelerator, 'energy_model', None).name}"
+        if getattr(accelerator, "energy_model", None) else "tiled",
+        cycles=total_cycles,
+        events=events,
+        result=result,
+        freq_hz=accelerator.energy_model.freq_hz,
+        energy_j=total_energy
+        + n_stripes * STRIPE_SWAP_CYCLES
+        * accelerator.energy_model.background_per_cycle,
+    )

@@ -1,0 +1,208 @@
+"""Synthetic sparse-matrix benchmark suite.
+
+The paper back-annotates its chip measurements onto "benchmark sparse
+matrix operations (University of Florida sparse matrix collection)".
+The UF collection is unavailable offline, so this module generates
+synthetic families spanning the same structural regimes — uniform random
+(Erdos-Renyi), scale-free power-law graphs (R-MAT style, the wiki/p2p
+snapshots' regime), banded FEM-like operators, and 2-D mesh stencils —
+sized so that column-fill spans the range that produces the paper's
+7-250x latency spread between the CAM and heap chips (dense-ish columns
+punish the FIFO baseline quadratically).
+
+Every generator is deterministic in its seed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from ..errors import SparseError
+from .sparse import CSCMatrix, random_sparse
+
+
+def erdos_renyi(n: int, density: float, seed: int = 0) -> CSCMatrix:
+    """Uniform random matrix (ER graph adjacency)."""
+    return random_sparse(n, n, density, seed=seed)
+
+
+def power_law(n: int, avg_degree: float, alpha: float = 2.1,
+              seed: int = 0) -> CSCMatrix:
+    """Scale-free graph adjacency via preferential-attachment sampling.
+
+    Column degree follows a truncated power law with exponent ``alpha``;
+    targets are drawn with linear preferential attachment, giving a few
+    extremely heavy rows/columns — the structure that dominates web/
+    social-network matrices in the UF collection.
+    """
+    if n < 2:
+        raise SparseError("power-law graph needs n >= 2")
+    rng = np.random.default_rng(seed)
+    # Degree per column: power-law with the requested mean.
+    raw = rng.pareto(alpha - 1.0, size=n) + 1.0
+    degrees = np.minimum(
+        np.maximum((raw * avg_degree / raw.mean()).astype(int), 1),
+        n - 1)
+    weights = np.ones(n)
+    entries = []
+    for col in range(n):
+        k = int(degrees[col])
+        probs = weights / weights.sum()
+        targets = rng.choice(n, size=k, replace=False, p=probs)
+        for row in targets:
+            entries.append((int(row), col, float(rng.uniform(0.5, 1.5))))
+            weights[row] += 3.0
+    return CSCMatrix.from_coo(n, n, entries)
+
+
+def banded(n: int, bandwidth: int, seed: int = 0) -> CSCMatrix:
+    """Banded operator (1-D FEM / tridiagonal-family structure)."""
+    if bandwidth < 0:
+        raise SparseError("bandwidth must be >= 0")
+    rng = np.random.default_rng(seed)
+    entries = []
+    for j in range(n):
+        for i in range(max(0, j - bandwidth),
+                       min(n, j + bandwidth + 1)):
+            entries.append((i, j, float(rng.uniform(0.5, 1.5))))
+    return CSCMatrix.from_coo(n, n, entries)
+
+
+def mesh_2d(side: int, seed: int = 0) -> CSCMatrix:
+    """5-point stencil on a side x side grid (FEM/PDE regime)."""
+    n = side * side
+    rng = np.random.default_rng(seed)
+    entries = []
+    for y in range(side):
+        for x in range(side):
+            j = y * side + x
+            neighbors = [(x, y), (x - 1, y), (x + 1, y), (x, y - 1),
+                         (x, y + 1)]
+            for nx, ny in neighbors:
+                if 0 <= nx < side and 0 <= ny < side:
+                    i = ny * side + nx
+                    entries.append((i, j,
+                                    float(rng.uniform(0.5, 1.5))))
+    return CSCMatrix.from_coo(n, n, entries)
+
+
+def dense_column_hub(n_rows: int, n_hub_cols: int, n_cols: int,
+                     uses_per_col: int = 8, seed: int = 0
+                     ) -> Tuple[CSCMatrix, CSCMatrix]:
+    """(A, B) pair where a few of A's columns are fully dense "hubs" and
+    B's columns combine them.
+
+    Every C column then has fill equal to the full row count — the
+    regime (dense result columns from hub vertices, common in social
+    graphs squared) where a sorted-FIFO accumulator re-streams hundreds
+    of entries per product and the CAM chip wins by two orders of
+    magnitude (the 250x end of Fig. 6).
+    """
+    rng = np.random.default_rng(seed)
+    a_entries = []
+    for col in range(n_hub_cols):
+        for row in range(n_rows):
+            a_entries.append((row, col, float(rng.uniform(0.5, 1.5))))
+    # Light off-hub background so A is not pathological.
+    for col in range(n_hub_cols, n_rows):
+        row = int(rng.integers(0, n_rows))
+        a_entries.append((row, col, float(rng.uniform(0.5, 1.5))))
+    a = CSCMatrix.from_coo(n_rows, n_rows, a_entries)
+    b_entries = []
+    for col in range(n_cols):
+        picks = rng.choice(n_hub_cols, size=min(uses_per_col,
+                                                n_hub_cols),
+                           replace=False)
+        for k in picks:
+            b_entries.append((int(k), col, float(rng.uniform(0.5, 1.5))))
+    b = CSCMatrix.from_coo(n_rows, n_cols, b_entries)
+    return a, b
+
+
+def block_diagonal_dense(n: int, block: int, seed: int = 0) -> CSCMatrix:
+    """Dense diagonal blocks — the high-fill regime where sorted-FIFO
+    insertion cost explodes (the 250x end of Fig. 6)."""
+    rng = np.random.default_rng(seed)
+    entries = []
+    for start in range(0, n, block):
+        stop = min(start + block, n)
+        for j in range(start, stop):
+            for i in range(start, stop):
+                entries.append((i, j, float(rng.uniform(0.5, 1.5))))
+    return CSCMatrix.from_coo(n, n, entries)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One Fig. 6 benchmark: a named A x B problem."""
+
+    name: str
+    a: CSCMatrix
+    b: CSCMatrix
+    description: str
+
+    @property
+    def work(self) -> int:
+        from .reference import multiply_work
+        return multiply_work(self.a, self.b)
+
+
+def benchmark_suite(scale: str = "small") -> List[Workload]:
+    """The Fig. 6 substitute suite.
+
+    ``scale`` picks matrix sizes: ``"tiny"`` for unit tests, ``"small"``
+    for the benchmark harness (seconds), ``"medium"`` for slower, more
+    faithful runs.  Each entry names the UF-collection regime it stands
+    in for.
+    """
+    sizes = {"tiny": 32, "small": 96, "medium": 256}
+    if scale not in sizes:
+        raise SparseError(
+            f"unknown scale {scale!r}; choose from {sorted(sizes)}")
+    n = sizes[scale]
+    side = int(math.sqrt(n))
+    hub_rows = {"tiny": 64, "small": 240, "medium": 480}[scale]
+    hub_a, hub_b = dense_column_hub(hub_rows, 8, 16, seed=71)
+    workloads = [
+        Workload(
+            "er_sparse",
+            erdos_renyi(n, 3.5 / n, seed=11),
+            erdos_renyi(n, 3.5 / n, seed=12),
+            "very sparse uniform random (road-network-like regime)"),
+        Workload(
+            "er_medium",
+            erdos_renyi(n, 8.0 / n, seed=21),
+            erdos_renyi(n, 8.0 / n, seed=22),
+            "medium-density uniform random"),
+        Workload(
+            "powerlaw_sq",
+            power_law(n, 4.0, seed=31),
+            power_law(n, 4.0, seed=32),
+            "scale-free graph squared (wiki/p2p snapshot regime)"),
+        Workload(
+            "banded_fem",
+            banded(n, 3, seed=41),
+            banded(n, 3, seed=42),
+            "banded operator product (1-D FEM regime)"),
+        Workload(
+            "mesh_stencil",
+            mesh_2d(side, seed=51),
+            mesh_2d(side, seed=52),
+            "5-point stencil squared (2-D PDE regime)"),
+        Workload(
+            "block_dense",
+            block_diagonal_dense(n, max(8, n // 6), seed=61),
+            block_diagonal_dense(n, max(8, n // 6), seed=62),
+            "dense diagonal blocks (contact-problem regime, "
+            "worst case for the FIFO baseline)"),
+        Workload(
+            "hub_dense",
+            hub_a, hub_b,
+            "dense hub columns combined (social-graph-squared regime, "
+            "the 250x end of Fig. 6)"),
+    ]
+    return workloads

@@ -1,0 +1,23 @@
+"""LiM physical synthesis flow: floorplan, place, route, STA, power."""
+
+from .clock import ClockTree, build_clock_tree
+from .floorplan import Floorplan, Placement, build_floorplan
+from .flow import FlowResult, run_flow
+from .mapper import resize_for_load, synthesize_truth_table
+from .place import PlacedDesign, place
+from .power import PowerReport, analyze_power
+from .report import flow_report, power_report, timing_report
+from .route import NetParasitics, Parasitics, route
+from .timing import PathPoint, TimingAnalyzer, TimingReport, analyze_timing
+
+__all__ = [
+    "ClockTree", "build_clock_tree",
+    "Floorplan", "Placement", "build_floorplan",
+    "FlowResult", "run_flow",
+    "resize_for_load", "synthesize_truth_table",
+    "PlacedDesign", "place",
+    "PowerReport", "analyze_power",
+    "flow_report", "power_report", "timing_report",
+    "NetParasitics", "Parasitics", "route",
+    "PathPoint", "TimingAnalyzer", "TimingReport", "analyze_timing",
+]

@@ -1,0 +1,153 @@
+"""The end-to-end LiM physical synthesis flow (Fig. 2).
+
+``run_flow`` strings the whole methodology together the way the paper's
+Fig. 2 draws it:
+
+    RTL (Module) + std-cell library + dynamically generated brick library
+      -> elaborate (gate-level netlist with brick macros)
+      -> floorplan (bricks as macros)
+      -> place (std cells around the bricks)
+      -> route (parasitics, the .spef role)
+      -> drive resizing against routed loads
+      -> STA (Fmax) and, given stimulus, activity-based power.
+
+The returned :class:`FlowResult` carries every intermediate so benchmarks
+and the design-space explorer can report area/timing/power consistently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..errors import SynthesisError
+from ..liberty.models import LibraryModel
+from ..rtl.module import FlatNetlist, Module, elaborate
+from ..rtl.simulate import Activity, LogicSimulator
+from ..tech.technology import Technology
+from .clock import ClockTree, build_clock_tree
+from .floorplan import Floorplan, build_floorplan
+from .mapper import resize_for_load
+from .place import PlacedDesign, place
+from .power import PowerReport, analyze_power
+from .route import Parasitics, route
+from .timing import TimingReport, analyze_timing
+
+#: A stimulus drives the logic simulator to produce activity: it receives
+#: a fresh :class:`LogicSimulator` and must clock it at least once.
+Stimulus = Callable[[LogicSimulator], None]
+
+
+@dataclass
+class FlowResult:
+    """Everything the flow produced for one design."""
+
+    netlist: FlatNetlist
+    floorplan: Floorplan
+    placement: PlacedDesign
+    parasitics: Parasitics
+    timing: TimingReport
+    power: Optional[PowerReport]
+    resized_cells: int
+    clock_tree: Optional[ClockTree] = None
+
+    @property
+    def fmax(self) -> float:
+        return self.timing.fmax
+
+    @property
+    def area_um2(self) -> float:
+        """Die area (macros + std-cell core)."""
+        return self.floorplan.die_area
+
+    @property
+    def cell_area_um2(self) -> float:
+        return sum(c.model.area for c in self.netlist.cells)
+
+    def energy_per_op(self) -> float:
+        """Energy per clock cycle at the analyzed activity (J)."""
+        if self.power is None:
+            raise SynthesisError("flow was run without stimulus/power")
+        return self.power.energy_per_cycle
+
+    def summary(self) -> Dict[str, float]:
+        result = {
+            "fmax_hz": self.fmax,
+            "min_period_s": self.timing.min_period,
+            "die_area_um2": self.area_um2,
+            "cell_area_um2": self.cell_area_um2,
+            "wirelength_um": self.parasitics.total_wirelength_um,
+        }
+        if self.power is not None:
+            result["power_w"] = self.power.total_w
+            result["energy_per_cycle_j"] = self.power.energy_per_cycle
+        return result
+
+
+def run_flow(top: Module, library: LibraryModel, tech: Technology,
+             stimulus: Optional[Stimulus] = None,
+             freq_hz: Optional[float] = None,
+             utilization: float = 0.65,
+             anneal_moves: Optional[int] = None,
+             resize: bool = True,
+             seed: int = 2015) -> FlowResult:
+    """Run the full LiM synthesis flow on ``top``.
+
+    ``library`` must contain both the standard cells and every brick
+    macro the design instantiates (merge them with
+    :meth:`LibraryModel.merged_with`).  When ``stimulus`` is given, power
+    is analyzed at ``freq_hz`` (default: the design's Fmax).
+    """
+    netlist = elaborate(top, library)
+    floorplan = build_floorplan(netlist, tech, utilization=utilization)
+    placement = place(netlist, floorplan, seed=seed,
+                      anneal_moves=anneal_moves)
+    parasitics = route(placement, tech)
+    resized = 0
+    if resize:
+        resized = resize_for_load(netlist, library, parasitics, tech)
+        if resized:
+            # Upsized cells need room: redo floorplan, placement and
+            # routing with the final cell sizes (the ECO pass).
+            floorplan = build_floorplan(netlist, tech,
+                                        utilization=utilization)
+            placement = place(netlist, floorplan, seed=seed,
+                              anneal_moves=anneal_moves)
+            parasitics = route(placement, tech)
+    timing = analyze_timing(netlist, parasitics, tech)
+
+    # Clock distribution: estimated tree over the sequential sinks.
+    try:
+        clock_tree = build_clock_tree(placement, tech)
+    except SynthesisError:
+        clock_tree = None  # purely combinational designs
+
+    power = None
+    if stimulus is not None:
+        simulator = LogicSimulator(netlist)
+        stimulus(simulator)
+        if simulator.activity.cycles == 0:
+            raise SynthesisError(
+                "stimulus did not clock the design; no activity")
+        power = analyze_power(
+            netlist, simulator.activity, parasitics, tech,
+            freq_hz=freq_hz if freq_hz is not None else timing.fmax)
+        if clock_tree is not None:
+            # Fold the tree's wire+buffer energy into the report (the
+            # flop/brick clock *pin* energy is already activity-based).
+            extra = clock_tree.wire_cap + clock_tree.buffer_cap
+            tree_energy = extra * tech.vdd ** 2
+            power.energy_per_cycle += tree_energy
+            power.dynamic_w += tree_energy * power.freq_hz
+            power.by_category["clock_network"] = \
+                tree_energy * power.freq_hz
+    return FlowResult(
+        netlist=netlist,
+        floorplan=floorplan,
+        placement=placement,
+        parasitics=parasitics,
+        timing=timing,
+        power=power,
+        resized_cells=resized,
+        clock_tree=clock_tree,
+    )

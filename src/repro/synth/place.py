@@ -1,0 +1,172 @@
+"""Standard-cell placement.
+
+A small but real placer: cells go into the floorplan's core rows, seeded
+by a connectivity-driven ordering and improved by simulated annealing on
+half-perimeter wirelength (HPWL) — the objective every production placer
+optimizes first.  Macros (bricks) are fixed by the floorplanner; their
+pins participate in the HPWL of their nets, which is how brick proximity
+shapes the placement of the synthesized periphery around it, i.e. the
+paper's "inside and outside of any memory block ... optimized across its
+boundary".
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import SynthesisError
+from ..rtl.module import FlatCell, FlatNetlist
+from .floorplan import Floorplan, Placement
+
+
+@dataclass
+class PlacedDesign:
+    """Placement result: per-cell positions plus the floorplan."""
+
+    netlist: FlatNetlist
+    floorplan: Floorplan
+    positions: Dict[str, Placement]
+
+    def pin_position(self, cell_name: str) -> Tuple[float, float]:
+        p = self.positions[cell_name]
+        return p.cx, p.cy
+
+    def hpwl(self) -> float:
+        """Total half-perimeter wirelength over all nets."""
+        return sum(self.net_hpwl(net)
+                   for net in range(self.netlist.n_nets))
+
+    def net_hpwl(self, net: int) -> float:
+        points = self._net_points.get(net)
+        if not points:
+            return 0.0
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+    def __post_init__(self) -> None:
+        self._net_points: Dict[int, List[Tuple[float, float]]] = {}
+        for cell in self.netlist.cells:
+            cx, cy = self.pin_position(cell.name)
+            for net in set(cell.pins.values()):
+                self._net_points.setdefault(net, []).append((cx, cy))
+
+
+def _connectivity_order(netlist: FlatNetlist) -> List[FlatCell]:
+    """BFS from the macros/outputs: keeps connected logic contiguous."""
+    std_cells = [c for c in netlist.cells if not c.model.is_brick]
+    net_to_cells: Dict[int, List[FlatCell]] = {}
+    for cell in std_cells:
+        for net in cell.pins.values():
+            net_to_cells.setdefault(net, []).append(cell)
+    seeds: List[int] = []
+    for cell in netlist.cells:
+        if cell.model.is_brick:
+            seeds.extend(cell.pins.values())
+    for nets in netlist.outputs.values():
+        seeds.extend(nets)
+    order: List[FlatCell] = []
+    seen = set()
+    frontier = list(dict.fromkeys(seeds))
+    while frontier:
+        next_frontier: List[int] = []
+        for net in frontier:
+            for cell in net_to_cells.get(net, []):
+                if cell.name in seen:
+                    continue
+                seen.add(cell.name)
+                order.append(cell)
+                next_frontier.extend(cell.pins.values())
+        frontier = next_frontier
+    for cell in std_cells:  # unreachable leftovers
+        if cell.name not in seen:
+            order.append(cell)
+    return order
+
+
+def place(netlist: FlatNetlist, floorplan: Floorplan,
+          seed: int = 2015, anneal_moves: Optional[int] = None
+          ) -> PlacedDesign:
+    """Row-based placement with simulated-annealing refinement.
+
+    ``anneal_moves`` bounds the refinement effort (default scales with
+    design size); pass 0 for construction-only placement in fast sweeps.
+    """
+    rng = random.Random(seed)
+    core = floorplan.core
+    row_height = floorplan.row_height
+    positions: Dict[str, Placement] = dict(floorplan.macros)
+
+    std_cells = _connectivity_order(netlist)
+    # Row fill in serpentine order.
+    slots: List[Tuple[float, float, float]] = []  # (x, y, width)
+    x = core.x
+    row = 0
+    for cell in std_cells:
+        width = max(cell.model.area / row_height, 0.1)
+        if x + width > core.x + core.width:
+            row += 1
+            x = core.x
+            if row >= floorplan.rows:
+                row = floorplan.rows - 1  # overflow into last row
+        y = core.y + row * row_height
+        positions[cell.name] = Placement(x, y, width, row_height)
+        x += width
+
+    design = PlacedDesign(netlist, floorplan, positions)
+    if anneal_moves is None:
+        anneal_moves = min(20000, 40 * len(std_cells))
+    if anneal_moves and len(std_cells) >= 2:
+        _anneal(design, std_cells, rng, anneal_moves)
+        design = PlacedDesign(netlist, floorplan, design.positions)
+    return design
+
+
+def _cells_nets(cell: FlatCell) -> List[int]:
+    return list(set(cell.pins.values()))
+
+
+def _anneal(design: PlacedDesign, std_cells: List[FlatCell],
+            rng: random.Random, moves: int) -> None:
+    """Pairwise-swap annealing on HPWL."""
+    netlist = design.netlist
+    positions = design.positions
+    net_cells: Dict[int, List[str]] = {}
+    cell_nets: Dict[str, List[int]] = {}
+    for cell in netlist.cells:
+        cell_nets[cell.name] = _cells_nets(cell)
+        for net in cell_nets[cell.name]:
+            net_cells.setdefault(net, []).append(cell.name)
+
+    def net_len(net: int) -> float:
+        names = net_cells.get(net, [])
+        if len(names) < 2:
+            return 0.0
+        xs = [positions[n].cx for n in names]
+        ys = [positions[n].cy for n in names]
+        return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+    names = [c.name for c in std_cells]
+    current_cost = {net: net_len(net) for net in net_cells}
+    temp = 0.3 * (design.floorplan.die_width
+                  + design.floorplan.die_height)
+    cooling = 0.995 ** (1.0 / max(1, moves / 1000))
+    for _ in range(moves):
+        a, b = rng.sample(names, 2)
+        affected = set(cell_nets[a]) | set(cell_nets[b])
+        before = sum(current_cost[n] for n in affected)
+        pa, pb = positions[a], positions[b]
+        positions[a] = Placement(pb.x, pb.y, pa.width, pa.height)
+        positions[b] = Placement(pa.x, pa.y, pb.width, pb.height)
+        after_costs = {n: net_len(n) for n in affected}
+        after = sum(after_costs.values())
+        delta = after - before
+        if delta <= 0 or rng.random() < math.exp(-delta / max(temp,
+                                                              1e-9)):
+            current_cost.update(after_costs)
+        else:
+            positions[a], positions[b] = pa, pb
+        temp *= cooling

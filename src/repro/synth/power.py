@@ -1,0 +1,118 @@
+"""Activity-based power analysis.
+
+The PrimeTime-with-.saif role: switching activity from the event-driven
+logic simulator plus per-operation energy LUTs from the libraries yield
+dynamic power; leakage sums the library numbers.  Brick reads/writes/
+matches are first-class operations, which is what lets system-level energy
+comparisons (Fig. 4b, Fig. 6) see the application-specific access pattern
+rather than a flat toggle rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..errors import PowerError
+from ..rtl.module import FlatNetlist
+from ..rtl.simulate import Activity
+from ..tech.technology import Technology
+from .route import Parasitics
+
+
+@dataclass
+class PowerReport:
+    """Power results at a given clock frequency."""
+
+    freq_hz: float
+    dynamic_w: float
+    leakage_w: float
+    by_category: Dict[str, float] = field(default_factory=dict)
+    energy_per_cycle: float = 0.0
+
+    @property
+    def total_w(self) -> float:
+        return self.dynamic_w + self.leakage_w
+
+
+def analyze_power(netlist: FlatNetlist, activity: Activity,
+                  parasitics: Parasitics, tech: Technology,
+                  freq_hz: float,
+                  input_slew: Optional[float] = None) -> PowerReport:
+    """Compute dynamic + leakage power from simulated activity.
+
+    Dynamic energy per cycle sums, for every cell output, the toggle rate
+    times the per-transition energy at the net's routed load, plus named
+    brick/flop operations (read, write, match, clock) at their library
+    energies.
+    """
+    if freq_hz <= 0:
+        raise PowerError("frequency must be positive")
+    if activity.cycles == 0:
+        raise PowerError(
+            "activity record has zero cycles; run the logic simulator "
+            "before power analysis")
+    slew = input_slew if input_slew is not None else 10.0 * tech.tau
+
+    # Per-net loads (sink pins + wire).
+    loads: Dict[int, float] = {}
+    for cell in netlist.cells:
+        for pin, net in cell.pins.items():
+            base = cell.base_pin(pin)
+            if cell.model.pins[base].direction != "output":
+                loads[net] = loads.get(net, 0.0) + \
+                    cell.model.pin_cap(base)
+    for net, para in parasitics.nets.items():
+        loads[net] = loads.get(net, 0.0) + para.capacitance
+
+    energy_per_cycle = 0.0
+    by_category: Dict[str, float] = {}
+    leakage = 0.0
+
+    def add(category: str, energy: float) -> None:
+        nonlocal energy_per_cycle
+        energy_per_cycle += energy
+        by_category[category] = by_category.get(category, 0.0) + energy
+
+    for cell in netlist.cells:
+        model = cell.model
+        leakage += model.leakage
+        ops = activity.cell_ops.get(cell.name, {})
+        if model.is_brick:
+            for op in ("read", "write", "match"):
+                count = ops.get(op, 0)
+                if count and op in model.energy:
+                    rate = count / activity.cycles
+                    add(f"brick_{op}",
+                        rate * model.energy_of(op, slew, 0.0))
+            # Clock pin load of the brick toggles every cycle.
+            if "clock" in model.energy:
+                add("brick_clock", model.energy_of("clock"))
+            continue
+        if model.sequential:
+            clocks = ops.get("clock", 0)
+            if clocks and "clock" in model.energy:
+                add("clock_tree",
+                    clocks / activity.cycles * model.energy_of("clock"))
+        # Output switching energy at the routed load.
+        for out_pin in model.output_pins():
+            pin_key = out_pin
+            net = cell.pins.get(pin_key)
+            if net is None:
+                continue
+            toggles = activity.toggle_rate(net)
+            if toggles == 0.0:
+                continue
+            load = loads.get(net, 0.0)
+            category = "sequential" if model.sequential else "logic"
+            add(category,
+                toggles * model.energy_of("switch", slew, load))
+
+    dynamic = energy_per_cycle * freq_hz
+    return PowerReport(
+        freq_hz=freq_hz,
+        dynamic_w=dynamic,
+        leakage_w=leakage,
+        by_category={k: v * freq_hz for k, v in by_category.items()},
+        energy_per_cycle=energy_per_cycle,
+    )

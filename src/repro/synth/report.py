@@ -1,0 +1,69 @@
+"""Human-readable flow reports.
+
+Formats :class:`~repro.synth.flow.FlowResult` contents the way synthesis
+tools print timing/power/area summaries — used by the examples and the
+benchmark harnesses so their output reads like the paper's tables.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..units import format_si
+from .flow import FlowResult
+from .power import PowerReport
+from .timing import TimingReport
+
+
+def timing_report(timing: TimingReport, period: float = None) -> str:
+    lines: List[str] = []
+    lines.append("=== Timing (setup, single corner) ===")
+    lines.append(f"min period : {format_si(timing.min_period, 's')}")
+    lines.append(f"fmax       : {format_si(timing.fmax, 'Hz')}")
+    if period is not None:
+        lines.append(f"slack @ {format_si(period, 's')} : "
+                     f"{format_si(timing.slack(period), 's')}")
+    lines.append(f"endpoint   : {timing.critical_endpoint}")
+    lines.append(f"hold slack : {format_si(timing.worst_hold_slack, 's')}")
+    if timing.critical_path:
+        lines.append("critical path:")
+        for point in timing.critical_path[-8:]:
+            lines.append(
+                f"  {point.cell:40s} {point.through:16s} "
+                f"{format_si(point.arrival, 's')}")
+    return "\n".join(lines)
+
+
+def power_report(power: PowerReport) -> str:
+    lines: List[str] = []
+    lines.append(f"=== Power @ {format_si(power.freq_hz, 'Hz')} ===")
+    lines.append(f"dynamic : {format_si(power.dynamic_w, 'W')}")
+    lines.append(f"leakage : {format_si(power.leakage_w, 'W')}")
+    lines.append(f"total   : {format_si(power.total_w, 'W')}")
+    lines.append(f"energy/cycle : "
+                 f"{format_si(power.energy_per_cycle, 'J')}")
+    for category, watts in sorted(power.by_category.items(),
+                                  key=lambda kv: -kv[1]):
+        lines.append(f"  {category:12s} {format_si(watts, 'W')}")
+    return "\n".join(lines)
+
+
+def flow_report(result: FlowResult) -> str:
+    lines: List[str] = []
+    stats = result.netlist.stats()
+    lines.append(f"=== Flow summary: {result.netlist.name} ===")
+    lines.append(
+        f"cells: {stats['cells']} ({stats['bricks']} bricks, "
+        f"{stats['flops']} flops, {stats['combinational']} comb); "
+        f"resized: {result.resized_cells}")
+    lines.append(
+        f"die {result.floorplan.die_width:.1f} x "
+        f"{result.floorplan.die_height:.1f} um "
+        f"({result.area_um2:.0f} um^2), cell area "
+        f"{result.cell_area_um2:.0f} um^2")
+    lines.append(
+        f"wirelength {result.parasitics.total_wirelength_um:.0f} um")
+    lines.append(timing_report(result.timing))
+    if result.power is not None:
+        lines.append(power_report(result.power))
+    return "\n".join(lines)

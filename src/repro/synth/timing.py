@@ -1,0 +1,272 @@
+"""Static timing analysis.
+
+Plays the PrimeTime role of the paper's flow: slew-propagating STA over
+the flat netlist with NLDM lookups from the (standard-cell + generated
+brick) libraries and routed parasitics.  Brick macros behave exactly like
+big sequential cells: a clock-to-ARBL launch arc and setup constraints on
+their wordline/data pins — the uniformity the paper's "same abstraction
+level" argument buys.
+
+The analysis is single-corner, ideal-clock, max-delay (setup); hold is
+checked structurally (min path vs hold time) since the flow has no useful
+clock skew model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import TimingError
+from ..rtl.module import FlatCell, FlatNetlist
+from ..tech.technology import Technology
+from .route import Parasitics
+
+_DEFAULT_INPUT_SLEW_TAUS = 10.0
+
+
+@dataclass
+class PathPoint:
+    """One hop of a reported timing path."""
+
+    cell: str
+    through: str     # "in_pin->out_pin"
+    arrival: float
+    slew: float
+
+
+@dataclass
+class TimingReport:
+    """STA results for one design at one corner."""
+
+    min_period: float
+    critical_path: List[PathPoint]
+    critical_endpoint: str
+    endpoint_slacks: Dict[str, float] = field(default_factory=dict)
+    worst_hold_slack: float = 0.0
+
+    @property
+    def fmax(self) -> float:
+        if self.min_period <= 0:
+            raise TimingError("design has no constrained paths")
+        return 1.0 / self.min_period
+
+    def slack(self, period: float) -> float:
+        return period - self.min_period
+
+
+class TimingAnalyzer:
+    """Slew-propagating, topologically-ordered max-delay STA."""
+
+    def __init__(self, netlist: FlatNetlist, parasitics: Parasitics,
+                 tech: Technology,
+                 input_slew: Optional[float] = None):
+        self.netlist = netlist
+        self.parasitics = parasitics
+        self.tech = tech
+        self.input_slew = input_slew if input_slew is not None else \
+            _DEFAULT_INPUT_SLEW_TAUS * tech.tau
+        self._net_load = self._compute_loads()
+
+    def _compute_loads(self) -> Dict[int, float]:
+        """Total load per net: sink pin caps plus routed wire cap."""
+        loads: Dict[int, float] = {}
+        for cell in self.netlist.cells:
+            for pin, net in cell.pins.items():
+                base = cell.base_pin(pin)
+                direction = cell.model.pins[base].direction
+                if direction != "output":
+                    loads[net] = loads.get(net, 0.0) + \
+                        cell.model.pin_cap(base)
+        for net, para in self.parasitics.nets.items():
+            loads[net] = loads.get(net, 0.0) + para.capacitance
+        return loads
+
+    def _wire_delay(self, net: int, load_past_wire: float) -> float:
+        para = self.parasitics.of(net)
+        if para.resistance == 0.0:
+            return 0.0
+        return 0.69 * para.resistance * (para.capacitance / 2.0
+                                         + load_past_wire)
+
+    def analyze(self) -> TimingReport:
+        netlist = self.netlist
+        arrival: Dict[int, float] = {}
+        slew: Dict[int, float] = {}
+        from_hop: Dict[int, Tuple[str, str, int]] = {}
+
+        # Startpoints: primary inputs and sequential launch arcs.
+        for nets in netlist.inputs.values():
+            for net in nets:
+                arrival[net] = 0.0
+                slew[net] = self.input_slew
+        for net in netlist.constants:
+            arrival[net] = 0.0
+            slew[net] = self.input_slew
+
+        comb_cells: List[FlatCell] = []
+        for cell in netlist.cells:
+            if cell.model.sequential:
+                for out_pin in cell.model.output_pins():
+                    for arc in cell.model.arcs_to(out_pin):
+                        # Launch arc from the clock: arrival at Q/ARBL.
+                        out_nets = [net for pin, net in cell.pins.items()
+                                    if cell.base_pin(pin) == out_pin]
+                        for net in out_nets:
+                            load = self._net_load.get(net, 0.0)
+                            delay = arc.delay_value(self.input_slew, load)
+                            out_slew = arc.slew_value(self.input_slew,
+                                                      load)
+                            if delay > arrival.get(net, -1.0):
+                                arrival[net] = delay
+                                slew[net] = out_slew
+                                from_hop[net] = (
+                                    cell.name,
+                                    f"{arc.from_pin}->{out_pin}", -1)
+            else:
+                comb_cells.append(cell)
+
+        order = self._topological(comb_cells)
+        for cell in order:
+            out_pin = cell.model.output_pins()[0]
+            out_net = cell.pins[out_pin]
+            load = self._net_load.get(out_net, 0.0)
+            best = arrival.get(out_net, -1.0)
+            for arc in cell.model.arcs_to(out_pin):
+                in_net = cell.pins.get(arc.from_pin)
+                if in_net is None:
+                    continue
+                in_arr = arrival.get(in_net)
+                if in_arr is None:
+                    continue  # tied-off or unconstrained input
+                in_slew = slew.get(in_net, self.input_slew)
+                total = in_arr + arc.delay_value(in_slew, load) + \
+                    self._wire_delay(out_net, 0.0)
+                if total > best:
+                    best = total
+                    arrival[out_net] = total
+                    slew[out_net] = arc.slew_value(in_slew, load)
+                    from_hop[out_net] = (
+                        cell.name, f"{arc.from_pin}->{out_pin}", in_net)
+
+        # Endpoints: sequential data pins (setup) and primary outputs.
+        min_period = 0.0
+        endpoint_slacks: Dict[str, float] = {}
+        critical_endpoint = ""
+        critical_net: Optional[int] = None
+        for cell in netlist.cells:
+            if not cell.model.sequential:
+                continue
+            for pin, net in cell.pins.items():
+                base = cell.base_pin(pin)
+                if cell.model.pins[base].direction != "input":
+                    continue
+                arr = arrival.get(net)
+                if arr is None:
+                    continue
+                required = arr + cell.model.setup
+                name = f"{cell.name}/{pin}"
+                endpoint_slacks[name] = required
+                if required > min_period:
+                    min_period = required
+                    critical_endpoint = name
+                    critical_net = net
+        for port, nets in netlist.outputs.items():
+            for i, net in enumerate(nets):
+                arr = arrival.get(net)
+                if arr is None:
+                    continue
+                name = f"{port}[{i}]"
+                endpoint_slacks[name] = arr
+                if arr > min_period:
+                    min_period = arr
+                    critical_endpoint = name
+                    critical_net = net
+        # Cell-imposed period floors: precharged bricks need their
+        # evaluate half-phase to cover the read/match path.
+        for cell in netlist.cells:
+            floor = cell.model.min_period
+            if floor > min_period:
+                min_period = floor
+                critical_endpoint = f"{cell.name} (min_period)"
+                critical_net = None
+            if floor > 0:
+                endpoint_slacks[f"{cell.name}/min_period"] = floor
+
+        path: List[PathPoint] = []
+        net = critical_net
+        while net is not None and net in from_hop:
+            cell_name, through, prev = from_hop[net]
+            path.append(PathPoint(cell_name, through,
+                                  arrival.get(net, 0.0),
+                                  slew.get(net, 0.0)))
+            net = prev if prev >= 0 else None
+        path.reverse()
+
+        if min_period <= 0.0:
+            raise TimingError(
+                "no constrained timing paths found (empty design?)")
+        return TimingReport(
+            min_period=min_period,
+            critical_path=path,
+            critical_endpoint=critical_endpoint,
+            endpoint_slacks=endpoint_slacks,
+            worst_hold_slack=self._hold_check(),
+        )
+
+    def _hold_check(self) -> float:
+        """Structural hold sanity: smallest single-stage delay minus the
+        largest hold requirement.  Positive = no hold hazard."""
+        min_stage = float("inf")
+        max_hold = 0.0
+        for cell in self.netlist.cells:
+            if cell.model.sequential:
+                max_hold = max(max_hold, cell.model.hold)
+            else:
+                out_pin = cell.model.output_pins()[0]
+                out_net = cell.pins[out_pin]
+                load = self._net_load.get(out_net, 0.0)
+                for arc in cell.model.arcs_to(out_pin):
+                    min_stage = min(
+                        min_stage,
+                        arc.delay_value(self.input_slew * 0.2, load))
+        if min_stage == float("inf"):
+            min_stage = 0.0
+        return min_stage - max_hold
+
+    def _topological(self, comb_cells: List[FlatCell]
+                     ) -> List[FlatCell]:
+        out_of: Dict[int, int] = {}
+        for i, cell in enumerate(comb_cells):
+            out_pin = cell.model.output_pins()[0]
+            out_of[cell.pins[out_pin]] = i
+        deps: Dict[int, List[int]] = {i: [] for i in
+                                      range(len(comb_cells))}
+        indeg = [0] * len(comb_cells)
+        for i, cell in enumerate(comb_cells):
+            for pin, net in cell.pins.items():
+                base = cell.base_pin(pin)
+                if cell.model.pins[base].direction != "output" and \
+                        net in out_of:
+                    deps[out_of[net]].append(i)
+                    indeg[i] += 1
+        ready = [i for i in range(len(comb_cells)) if indeg[i] == 0]
+        topo: List[int] = []
+        while ready:
+            i = ready.pop()
+            topo.append(i)
+            for user in deps[i]:
+                indeg[user] -= 1
+                if indeg[user] == 0:
+                    ready.append(user)
+        if len(topo) != len(comb_cells):
+            raise TimingError("combinational loop in timing graph")
+        return [comb_cells[i] for i in topo]
+
+
+def analyze_timing(netlist: FlatNetlist, parasitics: Parasitics,
+                   tech: Technology,
+                   input_slew: Optional[float] = None) -> TimingReport:
+    """Convenience wrapper over :class:`TimingAnalyzer`."""
+    return TimingAnalyzer(netlist, parasitics, tech,
+                          input_slew=input_slew).analyze()

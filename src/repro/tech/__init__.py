@@ -1,0 +1,33 @@
+"""Technology substrate: device, wire, corner and patterning models."""
+
+from .corners import BEST, CORNERS, NOMINAL, WORST, Corner, corner
+from .patterns import (
+    BITCELL,
+    EMPTY,
+    LOGIC_CONVENTIONAL,
+    LOGIC_REGULAR,
+    PERIPHERY,
+    Hotspot,
+    PatternGrid,
+    PatternRuleSet,
+    find_hotspots,
+    printability_score,
+    scenario_bitcell_array,
+    scenario_conventional_next_to_bitcells,
+    scenario_regular_next_to_bitcells,
+)
+from .presets import PRESETS, by_name, cmos14, cmos28, cmos45, cmos65
+from .technology import Technology
+from .transistor import NMOS, PMOS, Transistor
+from .wire import WireLayer
+
+__all__ = [
+    "BEST", "CORNERS", "NOMINAL", "WORST", "Corner", "corner",
+    "BITCELL", "EMPTY", "LOGIC_CONVENTIONAL", "LOGIC_REGULAR", "PERIPHERY",
+    "Hotspot", "PatternGrid", "PatternRuleSet", "find_hotspots",
+    "printability_score", "scenario_bitcell_array",
+    "scenario_conventional_next_to_bitcells",
+    "scenario_regular_next_to_bitcells",
+    "PRESETS", "by_name", "cmos14", "cmos28", "cmos45", "cmos65",
+    "Technology", "NMOS", "PMOS", "Transistor", "WireLayer",
+]

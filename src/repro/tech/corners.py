@@ -1,0 +1,57 @@
+"""PVT corners.
+
+Figure 4b of the paper reports simulations at *best*, *nominal* and *worst*
+cases next to the spread of chip measurements.  A corner here is a simple
+multiplicative derating of device/wire R and C and of the supply, applied
+through :meth:`repro.tech.technology.Technology.scaled`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..errors import TechnologyError
+from .technology import Technology
+
+
+@dataclass(frozen=True)
+class Corner:
+    """A process/voltage/temperature corner as derating factors."""
+
+    name: str
+    r_scale: float
+    c_scale: float
+    vdd_scale: float
+    leak_scale: float = 1.0
+
+    def apply(self, tech: Technology) -> Technology:
+        """Return ``tech`` derated to this corner."""
+        return tech.scaled(
+            r_scale=self.r_scale,
+            c_scale=self.c_scale,
+            vdd_scale=self.vdd_scale,
+            leak_scale=self.leak_scale,
+            name_suffix=f"@{self.name}",
+        )
+
+
+NOMINAL = Corner("nominal", r_scale=1.0, c_scale=1.0, vdd_scale=1.0)
+#: Fast silicon, fast wires, high supply — the "best case" of Fig 4b.
+BEST = Corner("best", r_scale=0.82, c_scale=0.92, vdd_scale=1.08,
+              leak_scale=2.5)
+#: Slow silicon, slow wires, low supply — the "worst case" of Fig 4b.
+WORST = Corner("worst", r_scale=1.22, c_scale=1.08, vdd_scale=0.92,
+               leak_scale=0.5)
+
+CORNERS: Dict[str, Corner] = {c.name: c for c in (NOMINAL, BEST, WORST)}
+
+
+def corner(name: str) -> Corner:
+    """Look up a corner by name (``"nominal"``, ``"best"``, ``"worst"``)."""
+    try:
+        return CORNERS[name]
+    except KeyError as exc:
+        raise TechnologyError(
+            f"unknown corner {name!r}; choose from {sorted(CORNERS)}"
+        ) from exc

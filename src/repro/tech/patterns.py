@@ -1,0 +1,202 @@
+"""Restrictive-patterning (pattern-construct) model.
+
+Section 2.1 of the paper argues that sub-20 nm lithography forces layouts
+onto a small set of pre-characterized *pattern constructs*, and Fig. 1 shows
+SEM evidence for the three cases that motivate the whole methodology:
+
+a. bitcells next to bitcells print fine;
+b. conventional free-form standard cells next to bitcells create
+   lithographic hotspots;
+c. pattern-construct (regular) standard cells next to bitcells print fine.
+
+We cannot reproduce SEM images, so we reproduce the *claim*: a layout is a
+grid of tiles, each tile carries a pattern-construct tag, and a compatibility
+relation between tags decides whether an adjacency is printable.  The three
+scenarios of Fig. 1 become three grids whose hotspot counts reproduce the
+ordering (a) = (c) = 0 hotspots, (b) > 0 hotspots.
+
+The same checker runs on every generated brick layout, which is how the
+layout generator guarantees "logic and embedded memory cells that are
+tightly integrated without requiring extra spacing".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from ..errors import PatternError
+
+# Canonical construct tags.
+BITCELL = "BC"          #: SRAM/CAM bitcell pattern.
+LOGIC_REGULAR = "LR"    #: pattern-construct (gridded) logic.
+LOGIC_CONVENTIONAL = "LC"  #: conventional free-form logic (2D jogs).
+PERIPHERY = "PH"        #: pitch-matched leaf-cell periphery pattern.
+EMPTY = "--"            #: empty tile (fill); compatible with everything.
+
+_KNOWN_TAGS = (BITCELL, LOGIC_REGULAR, LOGIC_CONVENTIONAL, PERIPHERY, EMPTY)
+
+
+@dataclass(frozen=True)
+class Hotspot:
+    """A lithographic hotspot between two adjacent tiles."""
+
+    row: int
+    col: int
+    neighbor_row: int
+    neighbor_col: int
+    tag_a: str
+    tag_b: str
+
+
+@dataclass
+class PatternRuleSet:
+    """Adjacency compatibility between pattern constructs.
+
+    ``incompatible`` holds unordered tag pairs that create a hotspot when
+    the two tags touch.  The default rule set encodes Fig. 1: conventional
+    logic is incompatible with bitcells and with periphery patterns, while
+    regular logic and periphery are compatible with everything.
+    """
+
+    incompatible: Set[FrozenSet[str]] = field(default_factory=set)
+
+    @classmethod
+    def default(cls) -> "PatternRuleSet":
+        """The sub-20 nm rule set motivating the paper (Fig. 1)."""
+        rules = cls()
+        rules.forbid(LOGIC_CONVENTIONAL, BITCELL)
+        rules.forbid(LOGIC_CONVENTIONAL, PERIPHERY)
+        return rules
+
+    def forbid(self, tag_a: str, tag_b: str) -> None:
+        """Mark the unordered pair (tag_a, tag_b) as hotspot-forming."""
+        for tag in (tag_a, tag_b):
+            if tag not in _KNOWN_TAGS:
+                raise PatternError(f"unknown pattern tag {tag!r}")
+        self.incompatible.add(frozenset((tag_a, tag_b)))
+
+    def compatible(self, tag_a: str, tag_b: str) -> bool:
+        """True when two tags may touch without a hotspot."""
+        if EMPTY in (tag_a, tag_b):
+            return True
+        return frozenset((tag_a, tag_b)) not in self.incompatible
+
+
+@dataclass
+class PatternGrid:
+    """A rectangular grid of pattern-construct tags.
+
+    The grid abstracts a layout at tile granularity: a bitcell is one tile,
+    a leaf cell or standard cell occupies one or more tiles.  Rows index
+    from the bottom of the layout.
+    """
+
+    rows: int
+    cols: int
+    tags: List[List[str]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise PatternError("pattern grid dimensions must be positive")
+        if not self.tags:
+            self.tags = [[EMPTY] * self.cols for _ in range(self.rows)]
+        if len(self.tags) != self.rows or any(
+                len(row) != self.cols for row in self.tags):
+            raise PatternError("tag matrix does not match grid dimensions")
+
+    def set(self, row: int, col: int, tag: str) -> None:
+        """Tag a single tile."""
+        if tag not in _KNOWN_TAGS:
+            raise PatternError(f"unknown pattern tag {tag!r}")
+        self._check_bounds(row, col)
+        self.tags[row][col] = tag
+
+    def fill(self, row0: int, col0: int, rows: int, cols: int,
+             tag: str) -> None:
+        """Tag a rectangular region of tiles."""
+        for r in range(row0, row0 + rows):
+            for c in range(col0, col0 + cols):
+                self.set(r, c, tag)
+
+    def get(self, row: int, col: int) -> str:
+        self._check_bounds(row, col)
+        return self.tags[row][col]
+
+    def _check_bounds(self, row: int, col: int) -> None:
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise PatternError(
+                f"tile ({row}, {col}) outside {self.rows}x{self.cols} grid")
+
+    def adjacencies(self) -> Iterable[Tuple[int, int, int, int]]:
+        """Yield each horizontal and vertical tile adjacency once."""
+        for r in range(self.rows):
+            for c in range(self.cols):
+                if c + 1 < self.cols:
+                    yield r, c, r, c + 1
+                if r + 1 < self.rows:
+                    yield r, c, r + 1, c
+
+    def counts(self) -> Dict[str, int]:
+        """Tile counts per tag (useful in reports and tests)."""
+        result: Dict[str, int] = {}
+        for row in self.tags:
+            for tag in row:
+                result[tag] = result.get(tag, 0) + 1
+        return result
+
+
+def find_hotspots(grid: PatternGrid,
+                  rules: PatternRuleSet = None) -> List[Hotspot]:
+    """Return every hotspot-forming adjacency in ``grid``."""
+    if rules is None:
+        rules = PatternRuleSet.default()
+    hotspots = []
+    for r0, c0, r1, c1 in grid.adjacencies():
+        tag_a, tag_b = grid.get(r0, c0), grid.get(r1, c1)
+        if not rules.compatible(tag_a, tag_b):
+            hotspots.append(Hotspot(r0, c0, r1, c1, tag_a, tag_b))
+    return hotspots
+
+
+def printability_score(grid: PatternGrid,
+                       rules: PatternRuleSet = None) -> float:
+    """Fraction of adjacencies that print cleanly, in [0, 1].
+
+    1.0 reproduces Fig. 1a/1c ("no impact on printability"); values below
+    1.0 reproduce Fig. 1b.
+    """
+    adjacency_count = sum(1 for _ in grid.adjacencies())
+    if adjacency_count == 0:
+        return 1.0
+    hotspot_count = len(find_hotspots(grid, rules))
+    return 1.0 - hotspot_count / adjacency_count
+
+
+# --- Fig. 1 scenario builders ---------------------------------------------
+
+def scenario_bitcell_array(rows: int = 8, cols: int = 8) -> PatternGrid:
+    """Fig. 1a — a plain bitcell array."""
+    grid = PatternGrid(rows, cols)
+    grid.fill(0, 0, rows, cols, BITCELL)
+    return grid
+
+
+def scenario_conventional_next_to_bitcells(
+        rows: int = 8, array_cols: int = 4,
+        logic_cols: int = 4) -> PatternGrid:
+    """Fig. 1b — conventional standard cells abutting a bitcell array."""
+    grid = PatternGrid(rows, array_cols + logic_cols)
+    grid.fill(0, 0, rows, array_cols, BITCELL)
+    grid.fill(0, array_cols, rows, logic_cols, LOGIC_CONVENTIONAL)
+    return grid
+
+
+def scenario_regular_next_to_bitcells(
+        rows: int = 8, array_cols: int = 4,
+        logic_cols: int = 4) -> PatternGrid:
+    """Fig. 1c — pattern-construct standard cells abutting bitcells."""
+    grid = PatternGrid(rows, array_cols + logic_cols)
+    grid.fill(0, 0, rows, array_cols, BITCELL)
+    grid.fill(0, array_cols, rows, logic_cols, LOGIC_REGULAR)
+    return grid

@@ -1,0 +1,125 @@
+"""Calibrated technology presets.
+
+``cmos65`` is the workhorse: the paper's two chips were fabricated in a
+commercial 65 nm process, and the preset's free parameters were calibrated
+(see DESIGN.md Section 5) so that the compiled 16x10 bit 8T brick lands near
+the paper's Table 1 anchor point (~247 ps read critical path, ~0.54 pJ read
+energy at 1x stacking).  Every *trend* reported by the benchmarks emerges
+from the physics of the model rather than from this calibration.
+
+The scaled presets (45/28/14 nm) exist because Section 6 of the paper
+stresses retargetability: moving nodes re-characterizes the same formulas.
+They follow idealized Dennard-ish scaling and are used by the retargeting
+tests and the ablation benches, not by the headline reproductions.
+"""
+
+from __future__ import annotations
+
+from ..units import FF, NA, NM, OHM, UM
+from .technology import Technology
+from .wire import WireLayer
+
+
+def cmos65() -> Technology:
+    """The calibrated 65 nm preset used by all paper reproductions."""
+    layers = {
+        "M1": WireLayer("M1", r_per_um=1.60, c_per_um=0.35 * FF,
+                        pitch_um=0.20),
+        "M2": WireLayer("M2", r_per_um=1.25, c_per_um=0.25 * FF,
+                        pitch_um=0.20),
+        "M3": WireLayer("M3", r_per_um=1.25, c_per_um=0.32 * FF,
+                        pitch_um=0.20),
+        "M4": WireLayer("M4", r_per_um=0.60, c_per_um=0.30 * FF,
+                        pitch_um=0.28),
+    }
+    return Technology(
+        name="cmos65",
+        node_nm=65.0,
+        vdd=1.2,
+        temp_c=25.0,
+        r_on_n=1900.0,          # ohm*um, calibrated to brick anchor point
+        beta_p=2.0,
+        c_gate=1.60 * FF,       # F/um
+        c_diff=1.30 * FF,       # F/um
+        v_th_frac=0.30,
+        i_leak_n=2.0 * NA,      # A/um
+        layers=layers,
+        local_layer="M1",
+        routing_layer="M3",
+        poly_pitch_um=0.26,
+        m1_pitch_um=0.20,
+        row_height_tracks=9,
+        w_min_um=0.12,
+    )
+
+
+def _scaled_node(base: Technology, name: str, node_nm: float) -> Technology:
+    """Idealized constant-field scaling of ``base`` to ``node_nm``.
+
+    Linear dimensions scale by ``s = node / base_node``; per-um device R is
+    roughly constant-to-slightly-rising at fixed width budget, per-um caps
+    shrink with oxide/perimeter, wires get worse per um.  These exponents
+    are deliberately simple — the presets exist to exercise retargeting,
+    not to model foundry data.
+    """
+    s = node_nm / base.node_nm
+    layers = {
+        key: WireLayer(layer.name,
+                       r_per_um=layer.r_per_um / s,
+                       c_per_um=layer.c_per_um,
+                       pitch_um=layer.pitch_um * s)
+        for key, layer in base.layers.items()
+    }
+    return Technology(
+        name=name,
+        node_nm=node_nm,
+        vdd=base.vdd * (0.5 + 0.5 * s),     # supply scales sub-linearly
+        temp_c=base.temp_c,
+        r_on_n=base.r_on_n * (1.0 + 0.3 * (1.0 - s)),
+        beta_p=base.beta_p,
+        c_gate=base.c_gate * s,
+        c_diff=base.c_diff * s,
+        v_th_frac=base.v_th_frac,
+        i_leak_n=base.i_leak_n / s,
+        layers=layers,
+        local_layer=base.local_layer,
+        routing_layer=base.routing_layer,
+        poly_pitch_um=base.poly_pitch_um * s,
+        m1_pitch_um=base.m1_pitch_um * s,
+        row_height_tracks=base.row_height_tracks,
+        w_min_um=base.w_min_um * s,
+    )
+
+
+def cmos45() -> Technology:
+    """45 nm scaled preset (retargeting tests)."""
+    return _scaled_node(cmos65(), "cmos45", 45.0)
+
+
+def cmos28() -> Technology:
+    """28 nm scaled preset (retargeting tests)."""
+    return _scaled_node(cmos65(), "cmos28", 28.0)
+
+
+def cmos14() -> Technology:
+    """14 nm-class scaled preset, the node of the paper's Fig. 1 study."""
+    return _scaled_node(cmos65(), "cmos14", 14.0)
+
+
+PRESETS = {
+    "cmos65": cmos65,
+    "cmos45": cmos45,
+    "cmos28": cmos28,
+    "cmos14": cmos14,
+}
+
+
+def by_name(name: str) -> Technology:
+    """Instantiate a preset by name."""
+    try:
+        factory = PRESETS[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown preset {name!r}; choose from {sorted(PRESETS)}"
+        ) from exc
+    return factory()

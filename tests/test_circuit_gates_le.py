@@ -1,0 +1,142 @@
+"""Tests for the gate catalog and logical-effort engine."""
+
+import itertools
+
+import pytest
+
+from repro.circuit import (
+    CATALOG,
+    buffer_chain,
+    gate_delay,
+    gate_type,
+    le_tau,
+    optimal_stage_count,
+    parasitic_inv,
+    path_effort,
+    size_path,
+)
+from repro.errors import NetlistError, SizingError
+
+
+class TestCatalog:
+    def test_inverter_reference_values(self):
+        inv = gate_type("INV")
+        assert inv.g["A"] == 1.0
+        assert inv.p == 1.0
+
+    def test_nand_efforts_follow_formula(self):
+        for k in (2, 3, 4):
+            gate = gate_type(f"NAND{k}")
+            assert gate.g["A"] == pytest.approx((k + 2) / 3)
+
+    def test_nor_worse_than_nand(self):
+        assert gate_type("NOR2").g["A"] > gate_type("NAND2").g["A"]
+
+    def test_unknown_gate_raises(self):
+        with pytest.raises(NetlistError):
+            gate_type("NAND9")
+
+    def test_every_function_truth_table(self):
+        expectations = {
+            "INV": lambda a: not a,
+            "NAND2": lambda a, b: not (a and b),
+            "NOR2": lambda a, b: not (a or b),
+            "AND2": lambda a, b: a and b,
+            "OR2": lambda a, b: a or b,
+            "XOR2": lambda a, b: a != b,
+            "XNOR2": lambda a, b: a == b,
+            "AOI21": lambda a, b, c: not ((a and b) or c),
+            "OAI21": lambda a, b, c: not ((a or b) and c),
+            "MUX2": lambda a, b, s: b if s else a,
+        }
+        for name, func in expectations.items():
+            gate = gate_type(name)
+            for combo in itertools.product(
+                    (False, True), repeat=gate.n_inputs):
+                assert gate.evaluate(combo) == func(*combo), \
+                    f"{name}{combo}"
+
+    def test_evaluate_arity_checked(self):
+        with pytest.raises(NetlistError):
+            gate_type("NAND2").evaluate([True])
+
+    def test_sequential_cells_marked(self):
+        assert gate_type("DFF").sequential
+        assert not gate_type("NAND2").sequential
+
+
+class TestLogicalEffort:
+    def test_path_effort_single_inverter(self):
+        inv = gate_type("INV")
+        f = path_effort([inv], ["A"], [1.0], c_in=1e-15, c_load=4e-15)
+        assert f == pytest.approx(4.0)
+
+    def test_path_effort_includes_branching(self):
+        inv = gate_type("INV")
+        f = path_effort([inv, inv], ["A", "A"], [2.0, 1.0],
+                        c_in=1e-15, c_load=4e-15)
+        assert f == pytest.approx(8.0)
+
+    def test_branching_below_one_rejected(self):
+        inv = gate_type("INV")
+        with pytest.raises(SizingError):
+            path_effort([inv], ["A"], [0.5], 1e-15, 1e-15)
+
+    def test_size_path_equalizes_stage_efforts(self, tech):
+        inv = gate_type("INV")
+        sized = size_path([inv] * 3, c_in=1e-15, c_load=64e-15,
+                          tech=tech)
+        # F = 64 over 3 stages -> f_hat = 4 per stage.
+        for effort in sized.stage_efforts:
+            assert effort == pytest.approx(4.0, rel=1e-6)
+
+    def test_size_path_caps_monotonic_for_buffering(self, tech):
+        inv = gate_type("INV")
+        sized = size_path([inv] * 3, c_in=1e-15, c_load=64e-15,
+                          tech=tech)
+        caps = sized.input_caps
+        assert caps[0] < caps[1] < caps[2]
+
+    def test_size_path_empty_rejected(self, tech):
+        with pytest.raises(SizingError):
+            size_path([], 1e-15, 1e-15, tech)
+
+    def test_delay_grows_with_load(self, tech):
+        inv = gate_type("INV")
+        d_small = size_path([inv], 1e-15, 2e-15, tech).delay
+        d_large = size_path([inv], 1e-15, 16e-15, tech).delay
+        assert d_large > d_small
+
+    def test_optimal_stage_count_grows_with_effort(self):
+        assert optimal_stage_count(2.0) <= optimal_stage_count(1000.0)
+        assert optimal_stage_count(1.0) == 1
+
+    def test_optimal_stage_count_around_rho(self):
+        # One stage up to ~rho^1.5, two around rho^2 etc.
+        assert optimal_stage_count(4.0) == 1
+        assert optimal_stage_count(60.0) in (3, 4)
+
+    def test_buffer_chain_tapers_geometrically(self, tech):
+        caps, delay = buffer_chain(1e-15, 64e-15, tech)
+        ratios = [caps[i + 1] / caps[i] for i in range(len(caps) - 1)]
+        for r in ratios:
+            assert r == pytest.approx(ratios[0], rel=1e-6)
+        assert delay > 0
+
+    def test_buffer_chain_forced_stages(self, tech):
+        caps, _ = buffer_chain(1e-15, 64e-15, tech, force_stages=5)
+        assert len(caps) == 5
+
+    def test_buffer_chain_fanout_below_one(self, tech):
+        caps, _ = buffer_chain(4e-15, 2e-15, tech)
+        assert len(caps) == 1
+
+    def test_gate_delay_slew_term(self, tech):
+        inv = gate_type("INV")
+        base = gate_delay(inv, 1e-15, 4e-15, tech, slew_in=0.0)
+        slewed = gate_delay(inv, 1e-15, 4e-15, tech, slew_in=60e-12)
+        assert slewed - base == pytest.approx(10e-12)
+
+    def test_le_tau_positive_and_small(self, tech):
+        assert 0 < le_tau(tech) < 1e-10
+        assert 0 < parasitic_inv(tech) < 3

@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_brick_token, build_parser, main
+from repro.errors import ReproError
+
+
+class TestParser:
+    def test_brick_defaults(self):
+        args = build_parser().parse_args(["brick"])
+        assert args.type == "8T"
+        assert args.words == 16
+        assert args.tech == "cmos65"
+
+    def test_global_tech_flag(self):
+        args = build_parser().parse_args(["--tech", "cmos28", "brick"])
+        assert args.tech == "cmos28"
+
+    def test_brick_token_parsing(self):
+        assert _parse_brick_token("16x10x2") == (16, 10, 2)
+        assert _parse_brick_token("32x12") == (32, 12, 1)
+        with pytest.raises(ReproError):
+            _parse_brick_token("16")
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_brick_command(self, capsys):
+        assert main(["brick", "--words", "8", "--bits", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "read critical path" in out
+        assert "area" in out
+
+    def test_cam_brick_command_prints_match(self, capsys):
+        assert main(["brick", "--type", "CAM", "--words", "8",
+                     "--bits", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "match path" in out
+
+    def test_library_command_writes_lib(self, tmp_path, capsys):
+        out_path = tmp_path / "bricks.lib"
+        assert main(["library", "16x8x2", "8x8", "--out",
+                     str(out_path)]) == 0
+        text = out_path.read_text()
+        assert "brick_16_8_s2" in text
+        assert "brick_8_8_s1" in text
+
+    def test_sweep_command(self, capsys):
+        assert main(["sweep", "--total-words", "32", "--bits", "8",
+                     "--brick-words", "8", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "pareto-optimal" in out
+
+    def test_sram_command_with_verilog(self, tmp_path, capsys):
+        verilog = tmp_path / "sram.v"
+        assert main(["sram", "--words", "16", "--bits", "8",
+                     "--brick-words", "16", "--cycles", "16",
+                     "--anneal", "200", "--verilog",
+                     str(verilog)]) == 0
+        assert verilog.read_text().startswith("module ")
+        out = capsys.readouterr().out
+        assert "Flow summary" in out
+
+    def test_spgemm_command(self, capsys):
+        assert main(["spgemm", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "hub_dense" in out
+
+    def test_error_path_returns_nonzero(self, capsys):
+        # 40 words is not a multiple of the 16-word brick.
+        code = main(["sram", "--words", "40", "--bits", "8"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

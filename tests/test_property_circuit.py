@@ -1,0 +1,128 @@
+"""Property-based tests for circuit engines, LUTs and pareto fronts."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import RCTree, gate_type
+from repro.explore import dominates, pareto_front
+from repro.liberty import LUT2D
+
+_settings = settings(max_examples=50, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestElmoreProperties:
+    @given(st.lists(st.tuples(st.floats(1.0, 1e4), st.floats(1e-16,
+                                                             1e-13)),
+                    min_size=1, max_size=12),
+           st.floats(0.0, 1e4))
+    @_settings
+    def test_ladder_monotonic_in_depth(self, segments, r_drive):
+        tree = RCTree(r_drive=r_drive)
+        last = "root"
+        delays = []
+        for i, (r, c) in enumerate(segments):
+            tree.add(f"n{i}", last, r, c)
+            last = f"n{i}"
+            delays.append(tree.elmore(last))
+        # Recompute after full construction: still non-decreasing along
+        # the path, and adding downstream load never sped anything up.
+        final = [tree.elmore(f"n{i}") for i in range(len(segments))]
+        assert all(final[i] <= final[i + 1] + 1e-30
+                   for i in range(len(final) - 1))
+        assert all(f >= d - 1e-30 for f, d in zip(final, delays))
+
+    @given(st.floats(1.0, 1e4), st.floats(1e-16, 1e-13),
+           st.floats(1e-16, 1e-13))
+    @_settings
+    def test_extra_cap_never_reduces_delay(self, r, c, extra):
+        tree = RCTree(r_drive=100.0)
+        tree.add("a", "root", r, c)
+        before = tree.elmore("a")
+        tree.add_cap("a", extra)
+        assert tree.elmore("a") >= before
+
+
+class TestLUTProperties:
+    @st.composite
+    @staticmethod
+    def lut_strategy(draw):
+        n_s = draw(st.integers(1, 4))
+        n_l = draw(st.integers(1, 4))
+        slews = sorted(draw(st.lists(
+            st.floats(0.0, 100.0), min_size=n_s, max_size=n_s,
+            unique=True)))
+        loads = sorted(draw(st.lists(
+            st.floats(0.0, 100.0), min_size=n_l, max_size=n_l,
+            unique=True)))
+        values = tuple(
+            tuple(draw(st.floats(-100, 100)) for _ in loads)
+            for _ in slews)
+        return LUT2D(tuple(slews), tuple(loads), values)
+
+    @given(lut_strategy())
+    @_settings
+    def test_exact_at_grid(self, lut):
+        for i, s in enumerate(lut.slews):
+            for j, l in enumerate(lut.loads):
+                assert lut.value(s, l) == pytest.approx(
+                    lut.values[i][j], rel=1e-9, abs=1e-9)
+
+    @given(lut_strategy(), st.floats(0.0, 100.0), st.floats(0.0, 100.0))
+    @_settings
+    def test_interpolation_within_bounds(self, lut, s, l):
+        """Inside the grid the bilinear value never escapes the value
+        range of the table."""
+        if not (lut.slews[0] <= s <= lut.slews[-1]
+                and lut.loads[0] <= l <= lut.loads[-1]):
+            return
+        flat = [v for row in lut.values for v in row]
+        value = lut.value(s, l)
+        assert min(flat) - 1e-6 <= value <= max(flat) + 1e-6
+
+
+class TestGateProperties:
+    @given(st.sampled_from(["INV", "NAND2", "NAND3", "NOR2", "AND2",
+                            "OR2", "XOR2", "AOI21", "OAI21", "MUX2"]),
+           st.data())
+    @_settings
+    def test_inverting_flag_consistent(self, name, data):
+        """For inverting gates, the all-true or all-false corner output
+        must differ from an AND/OR-like monotone expectation only in
+        polarity; concretely: flipping every input of a monotone
+        inverting gate from all-False to all-True flips the output."""
+        gate = gate_type(name)
+        if name in ("XOR2", "MUX2"):
+            return  # non-monotone
+        low = gate.evaluate([False] * gate.n_inputs)
+        high = gate.evaluate([True] * gate.n_inputs)
+        assert low != high
+
+
+class TestParetoProperties:
+    points_strategy = st.lists(
+        st.tuples(st.integers(0, 8), st.integers(0, 8)),
+        min_size=1, max_size=24)
+
+    @given(points_strategy)
+    @_settings
+    def test_front_members_not_dominated(self, points):
+        front = pareto_front(points, lambda p: p)
+        for member in front:
+            assert not any(dominates(other, member)
+                           for other in points)
+
+    @given(points_strategy)
+    @_settings
+    def test_every_point_dominated_by_front_or_in_it(self, points):
+        front = pareto_front(points, lambda p: p)
+        for point in points:
+            assert point in front or any(
+                dominates(member, point) for member in front)
+
+    @given(points_strategy)
+    @_settings
+    def test_front_idempotent(self, points):
+        front = pareto_front(points, lambda p: p)
+        assert pareto_front(front, lambda p: p) == front

@@ -1,0 +1,139 @@
+"""Property-based tests: RTL generators vs Python semantics, SRAM vs
+reference memory model, logical-effort sizing optimality."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import gate_type, size_path
+from repro.rtl import LogicSimulator, Module, as_bus, elaborate, \
+    multiplier, ripple_adder
+from repro.synth import synthesize_truth_table
+
+_settings = settings(max_examples=25, deadline=None,
+                     suppress_health_check=[
+                         HealthCheck.too_slow,
+                         HealthCheck.function_scoped_fixture])
+
+
+class TestTruthTableEquivalence:
+    @given(n_inputs=st.integers(1, 3), data=st.data())
+    @_settings
+    def test_arbitrary_function_synthesis(self, n_inputs, data, stdlib):
+        table = data.draw(st.lists(st.booleans(),
+                                   min_size=1 << n_inputs,
+                                   max_size=1 << n_inputs))
+        m = Module("tt")
+        m.input("clk")
+        inputs = [m.input(f"i{k}") for k in range(n_inputs)]
+        y = m.output("y")
+        out = synthesize_truth_table(m, inputs, table)
+        m.alias(as_bus(y), as_bus(out))
+        sim = LogicSimulator(elaborate(m, stdlib))
+        for code in range(1 << n_inputs):
+            for k in range(n_inputs):
+                sim.set_input(f"i{k}", (code >> k) & 1)
+            sim.settle()
+            assert sim.get_output("y") == int(table[code])
+
+
+class TestArithmeticEquivalence:
+    @given(width=st.integers(2, 5), data=st.data())
+    @_settings
+    def test_adder_random_operands(self, width, data, stdlib):
+        x = data.draw(st.integers(0, (1 << width) - 1))
+        y = data.draw(st.integers(0, (1 << width) - 1))
+        m = Module("add")
+        m.input("clk")
+        a = as_bus(m.input("a", width))
+        b = as_bus(m.input("b", width))
+        total, cout = ripple_adder(m, a, b)
+        m.alias(m.output("s", width), total)
+        m.alias(as_bus(m.output("co")), as_bus(cout))
+        sim = LogicSimulator(elaborate(m, stdlib))
+        sim.set_input("a", x)
+        sim.set_input("b", y)
+        sim.settle()
+        assert sim.get_output("s") | (sim.get_output("co") << width) \
+            == x + y
+
+    @given(wa=st.integers(2, 4), wb=st.integers(2, 4), data=st.data())
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[
+                  HealthCheck.too_slow,
+                  HealthCheck.function_scoped_fixture])
+    def test_multiplier_random_operands(self, wa, wb, data, stdlib):
+        x = data.draw(st.integers(0, (1 << wa) - 1))
+        y = data.draw(st.integers(0, (1 << wb) - 1))
+        m = Module("mul")
+        m.input("clk")
+        a = as_bus(m.input("a", wa))
+        b = as_bus(m.input("b", wb))
+        m.alias(m.output("p", wa + wb), multiplier(m, a, b))
+        sim = LogicSimulator(elaborate(m, stdlib))
+        sim.set_input("a", x)
+        sim.set_input("b", y)
+        sim.settle()
+        assert sim.get_output("p") == x * y
+
+
+class TestSramAgainstModel:
+    @given(ops=st.lists(st.tuples(st.integers(0, 31),
+                                  st.integers(0, 31),
+                                  st.integers(0, 1023), st.booleans()),
+                        min_size=1, max_size=60))
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[
+                  HealthCheck.too_slow,
+                  HealthCheck.function_scoped_fixture])
+    def test_fig3_sram_random_traffic(self, ops, fig3_library):
+        from repro.rtl import fig3_sram
+        module, _ = fig3_sram()
+        sim = LogicSimulator(elaborate(module, fig3_library))
+        model = {}
+        for ra, wa, di, we in ops:
+            sim.set_input("raddr", ra)
+            sim.set_input("waddr", wa)
+            sim.set_input("din", di)
+            sim.set_input("we", int(we))
+            sim.clock()
+            expect = model.get(ra)
+            if expect is not None:
+                assert sim.get_output("dout") == expect
+            if we:
+                model[wa] = di
+
+
+class TestLogicalEffortOptimality:
+    @given(n_stages=st.integers(1, 5), c_in=st.floats(2e-15, 1e-14),
+           c_load=st.floats(2e-14, 4e-13), data=st.data())
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[
+                  HealthCheck.too_slow,
+                  HealthCheck.function_scoped_fixture])
+    def test_equal_effort_beats_perturbed_sizing(self, n_stages, c_in,
+                                                 c_load, data, tech):
+        """The LE solution must not be improved by perturbing one
+        intermediate stage size (local optimality of the closed form)."""
+        inv = gate_type("INV")
+        sized = size_path([inv] * n_stages, c_in, c_load, tech)
+        if n_stages < 2:
+            assert sized.delay > 0
+            return
+        stage = data.draw(st.integers(1, n_stages - 1))
+        factor = data.draw(st.sampled_from([0.5, 0.8, 1.25, 2.0]))
+        caps = list(sized.input_caps)
+        caps[stage] *= factor
+
+        def chain_delay(caps_list):
+            from repro.circuit.logical_effort import le_tau, \
+                parasitic_inv
+            total = 0.0
+            p_inv = parasitic_inv(tech)
+            for i in range(n_stages):
+                c_out = caps_list[i + 1] if i + 1 < n_stages else c_load
+                total += c_out / caps_list[i] + p_inv
+            return total * 1.0
+
+        assert chain_delay(list(sized.input_caps)) <= \
+            chain_delay(caps) + 1e-9

@@ -1,0 +1,154 @@
+"""Property-based tests across system-level components.
+
+Liberty round trips, blocking/tiling decompositions, the sorted FIFO
+against its reference, and workload-statistics invariants.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.spgemm import (
+    CSCMatrix,
+    column_blocks,
+    kblock_spgemm,
+    row_block,
+    spgemm_gustavson,
+    tiled_spgemm,
+)
+
+_settings = settings(max_examples=20, deadline=None,
+                     suppress_health_check=[
+                         HealthCheck.too_slow,
+                         HealthCheck.function_scoped_fixture])
+
+
+def _matrix(draw, n_rows, n_cols, max_entries=30):
+    entries = draw(st.lists(
+        st.tuples(st.integers(0, n_rows - 1),
+                  st.integers(0, n_cols - 1),
+                  st.sampled_from([1.0, 2.0, -1.0, 0.5])),
+        max_size=max_entries))
+    return CSCMatrix.from_coo(n_rows, n_cols, entries)
+
+
+@st.composite
+def matrices(draw, max_dim=16):
+    n = draw(st.integers(2, max_dim))
+    m = draw(st.integers(2, max_dim))
+    return _matrix(draw, n, m)
+
+
+class TestBlockingProperties:
+    @given(matrices(), st.integers(1, 8))
+    @_settings
+    def test_column_blocks_partition_nnz(self, matrix, width):
+        blocks = column_blocks(matrix, width)
+        assert sum(b.nnz for b in blocks) == matrix.nnz
+        assert sum(b.width for b in blocks) == matrix.n_cols
+
+    @given(matrices(), st.integers(1, 8))
+    @_settings
+    def test_row_blocks_reassemble(self, matrix, tile):
+        pieces = []
+        for start in range(0, matrix.n_rows, tile):
+            stop = min(start + tile, matrix.n_rows)
+            pieces.append(row_block(matrix, start, stop).to_dense())
+        rebuilt = np.vstack(pieces)
+        assert np.array_equal(rebuilt, matrix.to_dense())
+
+
+class TestTilingProperties:
+    @given(st.data())
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_tiled_and_kblocked_match_golden(self, data):
+        from repro.spgemm import CAMGeometry, CAMSpGEMMAccelerator
+        n = data.draw(st.integers(4, 20))
+        k = data.draw(st.integers(4, 20))
+        m = data.draw(st.integers(4, 20))
+        a = _matrix(data.draw, n, k)
+        b = _matrix(data.draw, k, m)
+        golden = spgemm_gustavson(a, b)
+        chip = CAMSpGEMMAccelerator(CAMGeometry(index_bits=10))
+        tile = data.draw(st.integers(2, n))
+        kblk = data.draw(st.integers(2, k))
+        tiled = tiled_spgemm(chip, a, b, tile_rows=tile)
+        blocked = kblock_spgemm(chip, a, b, k_block=kblk)
+        assert tiled.result.allclose(golden)
+        assert np.allclose(blocked.result.to_dense(),
+                           golden.to_dense())
+
+
+class TestLibertyRoundtripProperty:
+    @given(gates=st.lists(st.sampled_from(
+        ["INV", "NAND2", "NAND3", "NOR2", "AND2", "OR2", "XOR2",
+         "MUX2", "DFF"]), min_size=1, max_size=4, unique=True),
+        drives=st.sampled_from([(1,), (1, 2), (2, 4)]))
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[
+                  HealthCheck.too_slow,
+                  HealthCheck.function_scoped_fixture])
+    def test_any_sublibrary_roundtrips(self, gates, drives, tech):
+        from repro.cells import make_stdcell_library
+        from repro.liberty import LibertyWriter, parse_library
+        original = make_stdcell_library(tech, drives=drives,
+                                        gates=gates)
+        parsed = parse_library(LibertyWriter(original).text())
+        assert set(parsed.cells) == set(original.cells)
+        for name in original.cells:
+            cell_a, cell_b = original.cell(name), parsed.cell(name)
+            assert cell_b.area == pytest.approx(cell_a.area, rel=1e-4)
+            for arc_a in cell_a.arcs:
+                arc_b = cell_b.arc(arc_a.from_pin, arc_a.to_pin)
+                assert arc_b.delay_value(1e-11, 5e-15) == \
+                    pytest.approx(arc_a.delay_value(1e-11, 5e-15),
+                                  rel=1e-3)
+
+
+class TestSortedFifoProperty:
+    @given(stream=st.lists(st.integers(0, 15), min_size=1,
+                           max_size=12),
+           depth=st.integers(2, 5))
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[
+                  HealthCheck.too_slow,
+                  HealthCheck.function_scoped_fixture])
+    def test_gate_level_fifo_matches_reference(self, stream, depth,
+                                               stdlib):
+        from repro.rtl import (
+            LogicSimulator, build_sorted_fifo, elaborate,
+            sorted_fifo_reference)
+        module = build_sorted_fifo(depth, 4)
+        sim = LogicSimulator(elaborate(module, stdlib))
+        for key in stream:
+            sim.set_input("key_in", key)
+            sim.set_input("insert", 1)
+            sim.clock()
+        expected_keys, expected_valid = sorted_fifo_reference(
+            stream, depth)
+        keys_word = sim.get_output("keys")
+        valid_word = sim.get_output("valid")
+        got_keys = [(keys_word >> (s * 4)) & 15 for s in range(depth)]
+        got_valid = [(valid_word >> s) & 1 == 1 for s in range(depth)]
+        n_valid = sum(expected_valid)
+        assert got_keys[:n_valid] == expected_keys[:n_valid]
+        assert got_valid == expected_valid
+
+
+class TestStatsProperties:
+    @given(st.data())
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_stats_internally_consistent(self, data):
+        from repro.spgemm import analyze_workload
+        n = data.draw(st.integers(3, 15))
+        a = _matrix(data.draw, n, n)
+        b = _matrix(data.draw, n, n)
+        stats = analyze_workload(a, b)
+        assert stats.work >= stats.result_nnz
+        assert stats.work_weighted_fill <= max(stats.max_col_fill, 0)
+        if stats.result_nnz:
+            assert stats.compression >= 1.0
+        assert stats.predicted_speedup() > 0

@@ -1,0 +1,175 @@
+"""Tests for the smart-memory gallery (Section 2.2)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.smartmem import (
+    InterpolationMemory,
+    ParallelAccessMemory,
+    SmartMemError,
+    WindowGeometry,
+    access_cost_comparison,
+    build_seed_table,
+    max_interpolation_error,
+    polar_to_rect_resample,
+    storage_saving,
+)
+
+
+class TestWindowGeometry:
+    def test_bank_count(self):
+        g = WindowGeometry(16, 16, 3, 4)
+        assert g.n_banks == 12
+
+    def test_window_must_be_smaller_than_array(self):
+        with pytest.raises(SmartMemError):
+            WindowGeometry(8, 8, 8, 2)
+
+    def test_mapping_is_conflict_free_for_all_windows(self):
+        g = WindowGeometry(12, 10, 3, 2)
+        for top in range(g.rows - g.win_rows + 1):
+            for left in range(g.cols - g.win_cols + 1):
+                banks = {g.bank_of(top + dr, left + dc)
+                         for dr in range(g.win_rows)
+                         for dc in range(g.win_cols)}
+                assert len(banks) == g.n_banks
+
+    def test_entry_indices_within_bank_capacity(self):
+        g = WindowGeometry(12, 10, 3, 2)
+        for row in range(g.rows):
+            for col in range(g.cols):
+                assert 0 <= g.entry_of(row, col) < g.bank_entries
+
+
+class TestParallelAccessMemory:
+    @pytest.fixture()
+    def loaded(self):
+        g = WindowGeometry(12, 10, 3, 2)
+        memory = ParallelAccessMemory(g)
+        rng = np.random.default_rng(4)
+        image = rng.integers(0, 1024, size=(12, 10))
+        memory.write_image(image)
+        return memory, image
+
+    def test_every_window_matches_the_image(self, loaded):
+        memory, image = loaded
+        g = memory.geometry
+        for top in range(0, g.rows - g.win_rows + 1, 2):
+            for left in range(g.cols - g.win_cols + 1):
+                window = memory.read_window(top, left)
+                assert np.array_equal(
+                    window, image[top:top + 3, left:left + 2])
+
+    def test_unaligned_window(self, loaded):
+        memory, image = loaded
+        window = memory.read_window(5, 3)
+        assert np.array_equal(window, image[5:8, 3:5])
+
+    def test_out_of_range_window_rejected(self, loaded):
+        memory, _ = loaded
+        with pytest.raises(SmartMemError):
+            memory.read_window(10, 0)
+
+    def test_wrong_image_shape_rejected(self):
+        memory = ParallelAccessMemory(WindowGeometry(8, 8, 2, 2))
+        with pytest.raises(SmartMemError):
+            memory.write_image(np.zeros((4, 4)))
+
+    def test_pixel_width_enforced(self):
+        memory = ParallelAccessMemory(WindowGeometry(8, 8, 2, 2),
+                                      pixel_bits=4)
+        with pytest.raises(SmartMemError):
+            memory.write_image(np.full((8, 8), 100))
+
+    def test_access_counting(self, loaded):
+        memory, _ = loaded
+        before = memory.window_reads
+        memory.read_window(0, 0)
+        assert memory.window_reads == before + 1
+
+
+class TestCostComparison:
+    def test_smart_memory_wins_on_both_axes(self, tech):
+        """The [7] claim: shared decoders beat per-bank decoders."""
+        result = access_cost_comparison(WindowGeometry(64, 64, 4, 4),
+                                        tech)
+        assert result["smart_decoders"] < \
+            result["conventional_decoders"]
+        assert result["smart_energy"] < result["conventional_energy"]
+        assert 0.0 < result["energy_saving"] < 1.0
+
+    def test_saving_grows_with_window_size(self, tech):
+        small = access_cost_comparison(WindowGeometry(64, 64, 2, 2),
+                                       tech)
+        big = access_cost_comparison(WindowGeometry(64, 64, 8, 8),
+                                     tech)
+        assert big["energy_saving"] > small["energy_saving"]
+
+
+class TestInterpolationMemory:
+    def _linear(self, x, y):
+        return 2.0 + 0.5 * x + 0.25 * y
+
+    def test_exact_at_seed_points(self):
+        seeds = build_seed_table(self._linear, 8, 8, stride=1.0)
+        memory = InterpolationMemory(seeds)
+        for i in (0, 3, 6):
+            for j in (1, 5):
+                assert memory.read(i, j) == pytest.approx(
+                    self._linear(i, j), abs=2.0 / memory.scale)
+
+    def test_bilinear_reproduces_linear_functions(self):
+        """Bilinear interpolation is exact on (bi)linear functions up to
+        quantization."""
+        seeds = build_seed_table(self._linear, 8, 8, stride=1.0)
+        memory = InterpolationMemory(seeds, frac_bits=10)
+        error = max_interpolation_error(self._linear, memory,
+                                        stride=1.0)
+        assert error < 0.01
+
+    def test_smooth_function_error_shrinks_with_denser_seeds(self):
+        func = lambda x, y: 2.0 + math.sin(x) * math.cos(y)
+        coarse = InterpolationMemory(
+            build_seed_table(func, 5, 5, stride=0.8), frac_bits=12)
+        dense = InterpolationMemory(
+            build_seed_table(func, 17, 17, stride=0.2), frac_bits=12)
+        err_coarse = max_interpolation_error(func, coarse, stride=0.8)
+        err_dense = max_interpolation_error(func, dense, stride=0.2)
+        assert err_dense < err_coarse
+
+    def test_out_of_grid_rejected(self):
+        memory = InterpolationMemory(np.ones((4, 4)))
+        with pytest.raises(SmartMemError):
+            memory.read(3.5, 0.0)
+
+    def test_stats_counted(self):
+        memory = InterpolationMemory(np.ones((4, 4)) * 2.0)
+        memory.read(1, 1)
+        memory.read(1.5, 1.5)
+        assert memory.stats.seed_reads == 2
+        assert memory.stats.exact_hits == 1
+        assert memory.stats.interpolations == 1
+
+    def test_storage_saving(self):
+        assert storage_saving(1024, 64) == pytest.approx(1 - 64 / 1024)
+        with pytest.raises(SmartMemError):
+            storage_saving(0, 1)
+
+
+class TestPolarToRect:
+    def test_resample_produces_plausible_image(self):
+        # A radial ramp: f(r, theta) = 1 + r (independent of angle).
+        n_r, n_t = 9, 9
+        polar = np.array([[1.0 + r / (n_r - 1) for _ in range(n_t)]
+                          for r in range(n_r)])
+        out, stats = polar_to_rect_resample(polar, out_size=12)
+        # Inside the unit quarter disc the value equals 1 + radius.
+        assert out[0, 0] == pytest.approx(1.0, abs=0.02)
+        mid = out[6, 6]
+        radius = math.hypot(6 / 11, 6 / 11)
+        assert mid == pytest.approx(1.0 + radius, abs=0.05)
+        # One window access per covered output pixel.
+        covered = np.count_nonzero(out)
+        assert stats.seed_reads == covered

@@ -1,0 +1,148 @@
+"""Tests for workloads, blocking, DRAM model and chip energy models."""
+
+import pytest
+
+from repro.errors import AcceleratorError, SparseError
+from repro.spgemm import (
+    DRAMChannel,
+    DRAMConfig,
+    HEAP_FREQ_HZ,
+    LIM_FREQ_HZ,
+    banded,
+    benchmark_suite,
+    column_blocks,
+    erdos_renyi,
+    estimated_frequencies,
+    heap_energy_model,
+    lim_energy_model,
+    mesh_2d,
+    power_law,
+    stream_block,
+)
+
+
+class TestWorkloads:
+    def test_suite_names_stable(self):
+        names = [w.name for w in benchmark_suite("tiny")]
+        assert "er_sparse" in names
+        assert "powerlaw_sq" in names
+        assert "hub_dense" in names
+        assert len(names) == len(set(names))
+
+    def test_generators_deterministic(self):
+        a1 = power_law(40, 4.0, seed=7)
+        a2 = power_law(40, 4.0, seed=7)
+        assert a1.allclose(a2)
+
+    def test_power_law_has_heavy_rows(self):
+        m = power_law(120, 4.0, seed=1)
+        row_degrees = [m.transpose().col_nnz(i) for i in range(120)]
+        assert max(row_degrees) > 2.5 * (sum(row_degrees) / 120)
+
+    def test_banded_structure(self):
+        m = banded(10, 1, seed=0)
+        dense = m.to_dense()
+        assert dense[0, 5] == 0.0
+        assert dense[5, 5] != 0.0
+        assert dense[4, 5] != 0.0
+
+    def test_mesh_stencil_degree(self):
+        m = mesh_2d(4, seed=0)
+        # Interior node has 5 neighbours (incl. itself).
+        assert m.col_nnz(5) == 5
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SparseError):
+            benchmark_suite("huge")
+
+    def test_workload_work_positive(self):
+        for w in benchmark_suite("tiny"):
+            assert w.work > 0
+
+
+class TestBlocking:
+    def test_blocks_cover_all_columns(self):
+        m = erdos_renyi(70, 0.1, seed=1)
+        blocks = column_blocks(m, 32)
+        assert [b.width for b in blocks] == [32, 32, 6]
+        assert sum(b.nnz for b in blocks) == m.nnz
+
+    def test_blocks_aligned_to_dram_rows(self):
+        m = erdos_renyi(70, 0.1, seed=1)
+        for block in column_blocks(m, 32, row_bytes=2048):
+            assert block.base_address % 2048 == 0
+
+    def test_bad_block_width_rejected(self):
+        m = erdos_renyi(10, 0.1, seed=1)
+        with pytest.raises(AcceleratorError):
+            column_blocks(m, 0)
+
+
+class TestDRAM:
+    def test_sequential_stream_mostly_hits(self):
+        channel = DRAMChannel()
+        stream_cycles = channel.stream(0, 4096)
+        assert channel.hit_rate > 0.9
+        assert stream_cycles == channel.cycles
+
+    def test_row_switch_misses(self):
+        channel = DRAMChannel(DRAMConfig(row_bytes=64,
+                                         bytes_per_access=64))
+        channel.access(0)
+        channel.access(64)
+        channel.access(0)
+        assert channel.misses == 3
+
+    def test_miss_costs_more(self):
+        config = DRAMConfig()
+        channel = DRAMChannel(config)
+        miss = channel.access(0)
+        hit = channel.access(config.bytes_per_access)
+        assert miss == config.miss_cycles
+        assert hit == config.hit_cycles
+
+    def test_energy_accumulates(self):
+        channel = DRAMChannel()
+        channel.stream(0, 1024)
+        assert channel.energy > 0
+        assert channel.bytes_transferred >= 1024
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(AcceleratorError):
+            DRAMChannel().access(-1)
+
+    def test_config_validation(self):
+        with pytest.raises(AcceleratorError):
+            DRAMConfig(row_bytes=16, bytes_per_access=32)
+
+
+class TestEnergyModels:
+    def test_frequencies_match_silicon_anchors(self):
+        assert lim_energy_model().freq_hz == LIM_FREQ_HZ
+        assert heap_energy_model().freq_hz == HEAP_FREQ_HZ
+        assert LIM_FREQ_HZ / HEAP_FREQ_HZ == pytest.approx(0.655,
+                                                           abs=0.01)
+
+    def test_event_energies_from_bricks(self, tech):
+        model = lim_energy_model(tech)
+        assert model.event_energy["hcam_match"] > \
+            model.event_energy["sram_read"]
+        assert model.background_per_cycle > 0
+
+    def test_energy_additivity(self, tech):
+        model = lim_energy_model(tech)
+        e1 = model.energy({"hcam_match": 10}, cycles=100)
+        e2 = model.energy({"hcam_match": 20}, cycles=100)
+        delta = e2 - e1
+        assert delta == pytest.approx(
+            10 * model.event_energy["hcam_match"])
+
+    def test_negative_cycles_rejected(self, tech):
+        with pytest.raises(AcceleratorError):
+            lim_energy_model(tech).energy({}, -1)
+
+    def test_our_bricks_predict_the_frequency_gap(self, tech):
+        """Section 5: the LiM chip clocks ~35 % slower; our own brick
+        models must predict a gap of the same sign and rough size."""
+        freqs = estimated_frequencies(tech)
+        assert 0.45 < freqs["ratio"] < 0.9

@@ -1,0 +1,152 @@
+"""Tests for row-tiled SpGEMM (the [12] decomposition dimension)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AcceleratorError
+from repro.spgemm import (
+    CAMGeometry,
+    CAMSpGEMMAccelerator,
+    HeapSpGEMMAccelerator,
+    random_sparse,
+    row_block,
+    spgemm_gustavson,
+    tiled_spgemm,
+)
+
+
+class TestRowBlock:
+    def test_slices_and_reindexes(self):
+        m = random_sparse(20, 8, 0.3, seed=1)
+        block = row_block(m, 5, 12)
+        assert block.n_rows == 7
+        assert np.array_equal(block.to_dense(), m.to_dense()[5:12, :])
+
+    def test_blocks_cover_matrix(self):
+        m = random_sparse(23, 9, 0.3, seed=2)
+        nnz = sum(row_block(m, s, min(s + 8, 23)).nnz
+                  for s in range(0, 23, 8))
+        assert nnz == m.nnz
+
+    def test_bad_range_rejected(self):
+        m = random_sparse(10, 10, 0.3, seed=3)
+        with pytest.raises(AcceleratorError):
+            row_block(m, 5, 3)
+        with pytest.raises(AcceleratorError):
+            row_block(m, 0, 11)
+
+
+class TestGeometryLimit:
+    def test_oversized_matrix_rejected_with_hint(self):
+        # A 6-bit index CAM can only address 64 rows.
+        chip = CAMSpGEMMAccelerator(CAMGeometry(index_bits=6))
+        a = random_sparse(100, 20, 0.1, seed=4)
+        b = random_sparse(20, 20, 0.1, seed=5)
+        with pytest.raises(AcceleratorError, match="tiled_spgemm"):
+            chip.simulate(a, b)
+
+
+class TestTiledSpGEMM:
+    def test_tiled_result_matches_golden(self):
+        chip = CAMSpGEMMAccelerator(CAMGeometry(index_bits=6))
+        a = random_sparse(150, 40, 0.08, seed=6)
+        b = random_sparse(40, 30, 0.15, seed=7)
+        run = tiled_spgemm(chip, a, b)
+        assert run.result.allclose(spgemm_gustavson(a, b))
+        assert run.events["stripe_swaps"] == 3  # ceil(150 / 64)
+
+    def test_tiling_unnecessary_for_small_matrices(self):
+        chip = CAMSpGEMMAccelerator()
+        a = random_sparse(30, 20, 0.2, seed=8)
+        b = random_sparse(20, 15, 0.2, seed=9)
+        direct = chip.simulate(a, b)
+        tiled = tiled_spgemm(chip, a, b)
+        assert tiled.result.allclose(direct.result)
+        # One stripe: only the swap overhead differs.
+        assert tiled.cycles == direct.cycles + 64
+
+    def test_tiled_heap_baseline(self):
+        chip = HeapSpGEMMAccelerator()
+        a = random_sparse(80, 25, 0.1, seed=10)
+        b = random_sparse(25, 25, 0.15, seed=11)
+        run = tiled_spgemm(chip, a, b, tile_rows=32)
+        assert run.result.allclose(spgemm_gustavson(a, b))
+        assert run.events["stripe_swaps"] == 3
+
+    def test_energy_and_cycles_accumulate(self):
+        chip = CAMSpGEMMAccelerator(CAMGeometry(index_bits=5))
+        a = random_sparse(90, 20, 0.1, seed=12)
+        b = random_sparse(20, 20, 0.15, seed=13)
+        run = tiled_spgemm(chip, a, b)
+        assert run.cycles > 0
+        assert run.energy_j > 0
+        assert run.events["mac"] > 0
+
+    def test_bad_tile_rows_rejected(self):
+        chip = CAMSpGEMMAccelerator()
+        a = random_sparse(10, 10, 0.2, seed=14)
+        b = random_sparse(10, 10, 0.2, seed=15)
+        with pytest.raises(AcceleratorError):
+            tiled_spgemm(chip, a, b, tile_rows=0)
+
+
+class TestKBlockSpGEMM:
+    def test_kblocked_result_matches_golden(self):
+        from repro.spgemm import kblock_spgemm
+        chip = CAMSpGEMMAccelerator()
+        a = random_sparse(40, 60, 0.1, seed=20)
+        b = random_sparse(60, 30, 0.12, seed=21)
+        run = kblock_spgemm(chip, a, b, k_block=16)
+        assert run.result.allclose(spgemm_gustavson(a, b))
+        assert run.events["k_blocks"] == 4  # ceil(60 / 16)
+        assert run.events.get("partial_merges", 0) > 0
+
+    def test_single_block_has_no_merge_cost(self):
+        from repro.spgemm import kblock_spgemm
+        chip = CAMSpGEMMAccelerator()
+        a = random_sparse(20, 20, 0.2, seed=22)
+        b = random_sparse(20, 20, 0.2, seed=23)
+        direct = chip.simulate(a, b)
+        blocked = kblock_spgemm(chip, a, b, k_block=20)
+        assert blocked.result.allclose(direct.result)
+        assert blocked.cycles == direct.cycles
+        assert "partial_merges" not in blocked.events
+
+    def test_finer_blocks_cost_more_cycles(self):
+        from repro.spgemm import kblock_spgemm
+        chip = CAMSpGEMMAccelerator()
+        a = random_sparse(30, 48, 0.15, seed=24)
+        b = random_sparse(48, 30, 0.15, seed=25)
+        coarse = kblock_spgemm(chip, a, b, k_block=48)
+        fine = kblock_spgemm(chip, a, b, k_block=8)
+        assert fine.result.allclose(coarse.result)
+        assert fine.cycles > coarse.cycles
+
+    def test_bad_k_block_rejected(self):
+        from repro.spgemm import kblock_spgemm
+        chip = CAMSpGEMMAccelerator()
+        a = random_sparse(8, 8, 0.3, seed=26)
+        with pytest.raises(AcceleratorError):
+            kblock_spgemm(chip, a, a, k_block=0)
+
+    def test_combined_2d_decomposition(self):
+        """Row tiles AND k-blocks together (the full [12] scheme)."""
+        from repro.spgemm import CAMGeometry, kblock_spgemm, \
+            tiled_spgemm
+        chip = CAMSpGEMMAccelerator(CAMGeometry(index_bits=6))
+
+        class KBlockedChip:
+            """Adapter: present kblock_spgemm as a plain simulate()."""
+
+            geometry = chip.geometry
+            energy_model = chip.energy_model
+
+            @staticmethod
+            def simulate(a, b, verify=True):
+                return kblock_spgemm(chip, a, b, k_block=16,
+                                     verify=verify)
+
+        a = random_sparse(100, 40, 0.08, seed=27)
+        b = random_sparse(40, 24, 0.15, seed=28)
+        run = tiled_spgemm(KBlockedChip(), a, b)
+        assert run.result.allclose(spgemm_gustavson(a, b))

@@ -1,0 +1,117 @@
+"""Tests for the restrictive-patterning model (Fig. 1 substitute)."""
+
+import pytest
+
+from repro.errors import PatternError
+from repro.tech import (
+    BITCELL,
+    EMPTY,
+    LOGIC_CONVENTIONAL,
+    LOGIC_REGULAR,
+    PERIPHERY,
+    PatternGrid,
+    PatternRuleSet,
+    find_hotspots,
+    printability_score,
+    scenario_bitcell_array,
+    scenario_conventional_next_to_bitcells,
+    scenario_regular_next_to_bitcells,
+)
+
+
+class TestPatternGrid:
+    def test_default_fill_is_empty(self):
+        grid = PatternGrid(3, 3)
+        assert grid.get(0, 0) == EMPTY
+
+    def test_set_and_get(self):
+        grid = PatternGrid(2, 2)
+        grid.set(1, 1, BITCELL)
+        assert grid.get(1, 1) == BITCELL
+
+    def test_fill_region(self):
+        grid = PatternGrid(4, 4)
+        grid.fill(1, 1, 2, 2, LOGIC_REGULAR)
+        assert grid.counts()[LOGIC_REGULAR] == 4
+
+    def test_out_of_bounds_rejected(self):
+        grid = PatternGrid(2, 2)
+        with pytest.raises(PatternError):
+            grid.set(2, 0, BITCELL)
+
+    def test_unknown_tag_rejected(self):
+        grid = PatternGrid(2, 2)
+        with pytest.raises(PatternError):
+            grid.set(0, 0, "XX")
+
+    def test_adjacency_count(self):
+        grid = PatternGrid(2, 3)
+        # 2 rows x 3 cols: horizontal 2*2=4, vertical 1*3=3.
+        assert sum(1 for _ in grid.adjacencies()) == 7
+
+    def test_zero_dimension_rejected(self):
+        with pytest.raises(PatternError):
+            PatternGrid(0, 3)
+
+
+class TestRuleSet:
+    def test_default_forbids_conventional_next_to_bitcell(self):
+        rules = PatternRuleSet.default()
+        assert not rules.compatible(LOGIC_CONVENTIONAL, BITCELL)
+
+    def test_default_allows_regular_next_to_bitcell(self):
+        rules = PatternRuleSet.default()
+        assert rules.compatible(LOGIC_REGULAR, BITCELL)
+
+    def test_empty_compatible_with_everything(self):
+        rules = PatternRuleSet.default()
+        assert rules.compatible(EMPTY, LOGIC_CONVENTIONAL)
+
+    def test_rules_are_symmetric(self):
+        rules = PatternRuleSet.default()
+        assert rules.compatible(BITCELL, LOGIC_CONVENTIONAL) == \
+            rules.compatible(LOGIC_CONVENTIONAL, BITCELL)
+
+    def test_forbid_unknown_tag_rejected(self):
+        with pytest.raises(PatternError):
+            PatternRuleSet().forbid("XX", BITCELL)
+
+
+class TestFig1Scenarios:
+    """The three SEM panels of Fig. 1, as hotspot counts."""
+
+    def test_1a_bitcells_alone_print_clean(self):
+        grid = scenario_bitcell_array()
+        assert find_hotspots(grid) == []
+        assert printability_score(grid) == 1.0
+
+    def test_1b_conventional_logic_creates_hotspots(self):
+        grid = scenario_conventional_next_to_bitcells()
+        hotspots = find_hotspots(grid)
+        assert len(hotspots) > 0
+        assert printability_score(grid) < 1.0
+
+    def test_1b_hotspots_lie_on_the_boundary(self):
+        grid = scenario_conventional_next_to_bitcells(
+            rows=8, array_cols=4, logic_cols=4)
+        for h in find_hotspots(grid):
+            assert {h.tag_a, h.tag_b} == {BITCELL, LOGIC_CONVENTIONAL}
+            assert {h.col, h.neighbor_col} == {3, 4}
+
+    def test_1c_regular_logic_prints_clean(self):
+        grid = scenario_regular_next_to_bitcells()
+        assert find_hotspots(grid) == []
+        assert printability_score(grid) == 1.0
+
+    def test_panel_ordering_matches_paper(self):
+        a = printability_score(scenario_bitcell_array())
+        b = printability_score(scenario_conventional_next_to_bitcells())
+        c = printability_score(scenario_regular_next_to_bitcells())
+        assert a == c == 1.0
+        assert b < 1.0
+
+    def test_periphery_tag_is_bitcell_compatible(self):
+        grid = PatternGrid(2, 2)
+        grid.set(0, 0, BITCELL)
+        grid.set(0, 1, PERIPHERY)
+        assert find_hotspots(grid) == []

@@ -1,0 +1,69 @@
+"""Tests for technology presets and retargeting (Section 6)."""
+
+import pytest
+
+from repro.tech import PRESETS, by_name, cmos14, cmos28, cmos45, cmos65
+
+
+class TestCmos65:
+    def test_node_and_supply(self):
+        tech = cmos65()
+        assert tech.node_nm == 65.0
+        assert tech.vdd == pytest.approx(1.2)  # the paper's nominal Vdd
+
+    def test_has_four_metal_layers(self):
+        assert len(cmos65().layers) >= 4
+
+    def test_bitline_layer_is_distinct_from_local(self):
+        tech = cmos65()
+        assert tech.bitline_layer != tech.local_layer
+
+
+class TestScaledNodes:
+    def test_dimensions_shrink_with_node(self):
+        t65, t28 = cmos65(), cmos28()
+        assert t28.poly_pitch_um < t65.poly_pitch_um
+        assert t28.w_min_um < t65.w_min_um
+
+    def test_supply_scales_down(self):
+        assert cmos14().vdd < cmos45().vdd < cmos65().vdd
+
+    def test_gate_cap_scales_down(self):
+        assert cmos28().c_gate < cmos65().c_gate
+
+    def test_leakage_density_grows(self):
+        assert cmos14().i_leak_n > cmos65().i_leak_n
+
+    def test_all_presets_construct(self):
+        for name in PRESETS:
+            tech = by_name(name)
+            assert tech.name == name
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(KeyError):
+            by_name("cmos7")
+
+
+class TestRetargeting:
+    """Section 6: the same formulas recharacterize at a new node."""
+
+    def test_brick_compiles_at_every_node(self):
+        from repro.bricks import compile_brick, estimate_brick, sram_brick
+        for factory in (cmos65, cmos45, cmos28):
+            tech = factory()
+            compiled = compile_brick(sram_brick(8, 8), tech)
+            est = estimate_brick(compiled, tech)
+            assert est.read_delay > 0
+            assert est.read_energy > 0
+
+    def test_scaled_nodes_are_faster_and_lower_energy(self):
+        from repro.bricks import compile_brick, estimate_brick, sram_brick
+        results = {}
+        for factory in (cmos65, cmos28):
+            tech = factory()
+            compiled = compile_brick(sram_brick(16, 10), tech)
+            results[tech.name] = estimate_brick(compiled, tech)
+        assert results["cmos28"].read_delay < \
+            results["cmos65"].read_delay
+        assert results["cmos28"].read_energy < \
+            results["cmos65"].read_energy

@@ -1,0 +1,128 @@
+"""Tests for the parametric technology model and corners."""
+
+import pytest
+
+from repro.errors import TechnologyError
+from repro.tech import (
+    BEST,
+    NOMINAL,
+    WORST,
+    Technology,
+    WireLayer,
+    cmos65,
+    corner,
+)
+
+
+def _minimal_layers():
+    return {
+        "M1": WireLayer("M1", 1.0, 0.2e-15, 0.2),
+        "M2": WireLayer("M2", 1.0, 0.2e-15, 0.2),
+        "M3": WireLayer("M3", 1.0, 0.2e-15, 0.2),
+    }
+
+
+def _make(**overrides):
+    params = dict(
+        name="t", node_nm=65.0, vdd=1.2, temp_c=25.0, r_on_n=2000.0,
+        beta_p=2.0, c_gate=1e-15, c_diff=0.8e-15, v_th_frac=0.3,
+        i_leak_n=1e-9, layers=_minimal_layers())
+    params.update(overrides)
+    return Technology(**params)
+
+
+class TestValidation:
+    def test_valid_construction(self):
+        tech = _make()
+        assert tech.vdd == 1.2
+
+    def test_negative_vdd_rejected(self):
+        with pytest.raises(TechnologyError):
+            _make(vdd=-1.0)
+
+    def test_vth_must_be_fraction(self):
+        with pytest.raises(TechnologyError):
+            _make(v_th_frac=1.5)
+
+    def test_beta_p_below_one_rejected(self):
+        with pytest.raises(TechnologyError):
+            _make(beta_p=0.5)
+
+    def test_missing_layer_rejected(self):
+        layers = _minimal_layers()
+        del layers["M3"]
+        with pytest.raises(TechnologyError):
+            _make(layers=layers)
+
+
+class TestDerived:
+    def test_pmos_resistance_scales_with_beta(self):
+        tech = _make()
+        assert tech.r_on_p == pytest.approx(2.0 * tech.r_on_n)
+
+    def test_threshold_voltage(self):
+        tech = _make()
+        assert tech.v_th == pytest.approx(0.36)
+
+    def test_tau_is_r_times_c(self):
+        tech = _make()
+        assert tech.tau == pytest.approx(2000.0 * 1e-15)
+
+    def test_fo4_in_plausible_range_for_65nm(self):
+        tech = cmos65()
+        assert 3e-12 < tech.fo4_delay() < 40e-12
+
+    def test_inverter_beta_between_one_and_beta_p(self):
+        tech = _make()
+        assert 1.0 < tech.inverter_beta() < tech.beta_p
+
+    def test_unknown_layer_lookup_raises(self):
+        with pytest.raises(TechnologyError):
+            _make().layer("M9")
+
+
+class TestScaling:
+    def test_scaled_multiplies_r_and_c(self):
+        tech = _make()
+        derated = tech.scaled(r_scale=1.2, c_scale=1.1)
+        assert derated.r_on_n == pytest.approx(tech.r_on_n * 1.2)
+        assert derated.c_gate == pytest.approx(tech.c_gate * 1.1)
+
+    def test_scaled_applies_to_wires(self):
+        tech = _make()
+        derated = tech.scaled(r_scale=2.0)
+        assert derated.layer("M1").r_per_um == pytest.approx(
+            2.0 * tech.layer("M1").r_per_um)
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(TechnologyError):
+            _make().scaled(r_scale=0.0)
+
+    def test_original_unchanged_after_scaling(self):
+        tech = _make()
+        tech.scaled(r_scale=2.0)
+        assert tech.r_on_n == 2000.0
+
+
+class TestCorners:
+    def test_nominal_is_identity(self):
+        tech = cmos65()
+        nom = NOMINAL.apply(tech)
+        assert nom.r_on_n == pytest.approx(tech.r_on_n)
+
+    def test_best_is_faster_than_worst(self):
+        tech = cmos65()
+        best = BEST.apply(tech)
+        worst = WORST.apply(tech)
+        assert best.tau < tech.tau < worst.tau
+
+    def test_best_has_higher_vdd(self):
+        tech = cmos65()
+        assert BEST.apply(tech).vdd > tech.vdd > WORST.apply(tech).vdd
+
+    def test_corner_lookup(self):
+        assert corner("best") is BEST
+
+    def test_unknown_corner_raises(self):
+        with pytest.raises(TechnologyError):
+            corner("typical")

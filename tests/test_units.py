@@ -1,0 +1,73 @@
+"""Tests for engineering units and SI formatting."""
+
+import math
+
+import pytest
+
+from repro.units import (
+    FF,
+    GHZ,
+    KOHM,
+    MHZ,
+    NS,
+    PJ,
+    PS,
+    format_si,
+    ratio_percent,
+)
+
+
+class TestConstants:
+    def test_time_scale_chain(self):
+        assert NS == 1000 * PS
+
+    def test_paper_anchor_expressions_read_naturally(self):
+        assert 247 * PS == pytest.approx(2.47e-10)
+        assert 0.54 * PJ == pytest.approx(5.4e-13)
+        assert 475 * MHZ == pytest.approx(4.75e8)
+
+    def test_resistance_capacitance(self):
+        assert 1 * KOHM * 100 * FF == pytest.approx(1e-10)
+
+
+class TestFormatSi:
+    def test_picoseconds(self):
+        assert format_si(2.47e-10, "s") == "247 ps"
+
+    def test_unity(self):
+        assert format_si(1.0, "V") == "1 V"
+
+    def test_kilo(self):
+        assert format_si(3900.0, "ohm") == "3.9 kohm"
+
+    def test_zero(self):
+        assert format_si(0.0, "W") == "0 W"
+
+    def test_negative(self):
+        assert format_si(-0.25e-12, "J") == "-250 fJ"
+
+    def test_nan_passthrough(self):
+        assert "nan" in format_si(float("nan"), "s")
+
+    def test_no_unit(self):
+        assert format_si(1e9) == "1 G"
+
+    def test_digits(self):
+        assert format_si(1.23456e-9, "s", digits=5) == "1.2346 ns"
+
+    def test_tiny_values_use_smallest_prefix(self):
+        text = format_si(1e-27, "F")
+        assert text.endswith("yF")
+
+
+class TestRatioPercent:
+    def test_overestimate_positive(self):
+        assert ratio_percent(110.0, 100.0) == pytest.approx(10.0)
+
+    def test_underestimate_negative(self):
+        # Table 1 convention: tool below SPICE is a negative error.
+        assert ratio_percent(247.0, 265.0) == pytest.approx(-6.79, abs=0.01)
+
+    def test_zero_reference_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            ratio_percent(1.0, 0.0)
