@@ -9,9 +9,10 @@ seconds of wall clock time."
 
 import pytest
 
-from bench_util import print_table
+from bench_util import emit_bench_json, print_table
 from repro.bricks import generate_brick_library, sram_brick
 from repro.explore import pareto_front, sweep_partitions
+from repro.perf import CharacterizationCache
 from repro.units import PJ, PS
 
 
@@ -113,3 +114,34 @@ def test_fig4c_pareto_front(benchmark, fig4c):
 def test_benchmark_sweep_throughput(benchmark, tech):
     result = benchmark(lambda: sweep_partitions(tech))
     assert len(result.points) == 9
+
+
+def test_fig4c_cold_vs_warm_cache_json(benchmark, tech):
+    """Perf tracking artifact: cold vs warm-cache wall clock for the
+    paper's 9-brick sweep, emitted as BENCH_fig4c.json.
+
+    Acceptance floor for the characterization cache: warm >= 5x faster
+    than cold (in practice it is orders of magnitude)."""
+    cache = CharacterizationCache()
+
+    def run():
+        return sweep_partitions(tech, cache=cache)
+
+    cold = benchmark.pedantic(run, rounds=1, iterations=1)
+    warm = min((run() for _ in range(5)),
+               key=lambda r: r.wall_clock_s)
+    n = len(cold.points)
+    speedup = cold.wall_clock_s / warm.wall_clock_s
+    emit_bench_json("fig4c", {
+        "n_points": n,
+        "cold_wall_clock_s": cold.wall_clock_s,
+        "warm_wall_clock_s": warm.wall_clock_s,
+        "warm_speedup": speedup,
+        "cold_points_per_s": n / cold.wall_clock_s,
+        "warm_points_per_s": n / warm.wall_clock_s,
+        "paper_claim_s": 2.0,
+        "within_paper_claim": cold.wall_clock_s < 2.0,
+    })
+    assert cold.wall_clock_s < 2.0
+    assert speedup >= 5.0, (
+        f"warm cache only {speedup:.1f}x faster than cold")

@@ -34,6 +34,10 @@ The package implements the paper's full stack in pure Python:
     The application: sparse matrices, the CAM-based LiM SpGEMM
     accelerator and the heap/FIFO baseline, with calibrated chip energy
     models (Fig. 5, Fig. 6).
+``repro.perf``
+    Content-addressed characterization caching and parallel fan-out —
+    the machinery behind the paper's "within 2 seconds" usability claim
+    at scale.
 
 Quick start::
 
@@ -51,6 +55,7 @@ from . import (
     circuit,
     explore,
     liberty,
+    perf,
     rtl,
     silicon,
     smartmem,
@@ -63,7 +68,7 @@ from .errors import ReproError
 __version__ = "1.0.0"
 
 __all__ = [
-    "bricks", "cells", "circuit", "explore", "liberty", "rtl",
+    "bricks", "cells", "circuit", "explore", "liberty", "perf", "rtl",
     "silicon", "smartmem", "spgemm", "synth", "tech", "ReproError",
     "__version__",
 ]

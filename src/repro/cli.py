@@ -34,8 +34,9 @@ from .cells import make_stdcell_library
 from .errors import ReproError
 from .explore import pareto_front, sweep_partitions
 from .liberty import write_liberty
+from .perf import configure_default_cache, default_cache
 from .rtl import build_sram, emit_hierarchy
-from .synth import flow_report, run_flow
+from .synth import flow_report, prepare_libraries, run_flow
 from .tech import by_name
 from .units import MHZ, PJ, PS, format_si
 
@@ -86,7 +87,8 @@ def cmd_library(args) -> int:
     for token in args.bricks:
         words, bits, stack = _parse_brick_token(token)
         requests.append((BrickSpec(args.type, words, bits), stack))
-    library, elapsed = generate_brick_library(requests, tech)
+    library, elapsed = generate_brick_library(requests, tech,
+                                              jobs=args.jobs)
     print(f"generated {len(library)} brick cells in "
           f"{elapsed * 1e3:.1f} ms")
     if args.out:
@@ -105,9 +107,8 @@ def cmd_sram(args) -> int:
     else:
         config = single_partition(brick, args.words)
     print(f"building {config.describe()}")
-    bricks, _ = generate_brick_library(
-        [(config.brick, config.stack)], tech)
-    library = make_stdcell_library(tech).merged_with(bricks)
+    library = prepare_libraries([(config.brick, config.stack)], tech,
+                                jobs=args.jobs)
     module = build_sram(config)
     if args.verilog:
         with open(args.verilog, "w", encoding="utf-8") as handle:
@@ -136,7 +137,8 @@ def cmd_sweep(args) -> int:
         total_words_options=(args.total_words,),
         bits_options=tuple(args.bits),
         brick_words_options=tuple(args.brick_words),
-        memory_type=args.type)
+        memory_type=args.type,
+        jobs=args.jobs)
     print(f"{len(result.points)} design points in "
           f"{result.wall_clock_s * 1e3:.0f} ms")
     header = (f"{'memory':>12s} {'brick':>12s} {'delay':>9s} "
@@ -184,9 +186,11 @@ def cmd_testchip(args) -> int:
     from .silicon import measure_chips, simulate_corners
     tech = _tech(args)
     measured = measure_chips(args.configs, tech, n_chips=args.chips,
-                             anneal_moves=args.anneal)
+                             anneal_moves=args.anneal,
+                             jobs=args.jobs)
     simulated = simulate_corners(args.configs, tech,
-                                 anneal_moves=args.anneal)
+                                 anneal_moves=args.anneal,
+                                 jobs=args.jobs)
     header = (f"{'cfg':>4s} {'measured':>10s} {'spread':>16s} "
               f"{'sim w/n/b [MHz]':>20s} {'energy':>9s}")
     print(header)
@@ -201,12 +205,33 @@ def cmd_testchip(args) -> int:
     return 0
 
 
+def _jobs_count(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"must be an integer, "
+                                         f"got {text!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be >= 0 (0 = all cores)")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="LiM synthesis methodology reproduction (DAC 2015)")
     parser.add_argument("--tech", default="cmos65",
                         help="technology preset (default: cmos65)")
+    parser.add_argument("--jobs", type=_jobs_count, default=1,
+                        help="characterization worker processes "
+                             "(0 = all cores, default: 1)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="persist characterization results in this "
+                             "directory (safe to delete)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the characterization cache")
+    parser.add_argument("--cache-stats", action="store_true",
+                        help="print cache hit/miss statistics on exit")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("brick", help="compile and estimate one brick")
@@ -266,11 +291,21 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_default_cache(cache_dir=args.cache_dir,
+                            enabled=not args.no_cache)
     try:
         return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if args.cache_stats:
+            stats = default_cache().stats
+            print(f"cache: {stats.hits} hits "
+                  f"({stats.memory_hits} memory, {stats.disk_hits} "
+                  f"disk), {stats.misses} misses, "
+                  f"{stats.bytes_written} bytes written, "
+                  f"{stats.bytes_read} bytes read", file=sys.stderr)
 
 
 if __name__ == "__main__":

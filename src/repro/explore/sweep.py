@@ -14,14 +14,14 @@ selection instead of taking it as an input.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..bricks.compiler import compile_brick
-from ..bricks.estimator import BrickPerformance, estimate_brick
+from ..bricks.estimator import BrickPerformance
 from ..bricks.spec import BrickSpec, sram_brick
 from ..errors import ExplorationError
+from ..perf.characterize import estimate_points
+from ..perf.timer import Stopwatch
 from ..tech.technology import Technology
 
 
@@ -87,38 +87,50 @@ def sweep_partitions(tech: Technology,
                      total_words_options: Sequence[int] = (128,),
                      bits_options: Sequence[int] = (8, 16, 32),
                      brick_words_options: Sequence[int] = (16, 32, 64),
-                     memory_type: str = "8T") -> SweepResult:
+                     memory_type: str = "8T",
+                     jobs: int = 1,
+                     cache=None) -> SweepResult:
     """The Fig. 4c sweep: single-partition memories of each size built
     from each brick flavour.
 
     The default arguments are exactly the paper's: 128x{8,16,32} bit
     SRAMs built from 16/32/64-word bricks (9 brick compilations).
+
+    Characterization routes through :mod:`repro.perf`: repeated points
+    hit the content-addressed cache, cold points fan out over ``jobs``
+    processes, and the returned point list is ordered identically
+    regardless of ``jobs``.
     """
-    start = time.perf_counter()
-    points: List[SweepPoint] = []
+    watch = Stopwatch()
+    grid: List[Tuple[int, int, int, int]] = []
     for bits in bits_options:
         for brick_words in brick_words_options:
-            spec = BrickSpec(memory_type, brick_words, bits)
             for total_words in total_words_options:
                 if total_words % brick_words != 0:
                     continue
                 stack = total_words // brick_words
-                compiled = compile_brick(spec, tech, target_stack=stack)
-                est = estimate_brick(compiled, tech, stack=stack)
-                points.append(SweepPoint(
-                    total_words=total_words,
-                    bits=bits,
-                    brick_words=brick_words,
-                    stack=stack,
-                    read_delay=est.read_delay,
-                    read_energy=est.read_energy,
-                    write_energy=est.write_energy,
-                    area_um2=est.area_um2,
-                    leakage_w=est.leakage_w,
-                ))
-    if not points:
+                grid.append((bits, brick_words, total_words, stack))
+    if not grid:
         raise ExplorationError("sweep produced no points")
-    return SweepResult(points, time.perf_counter() - start)
+    tasks = [(BrickSpec(memory_type, brick_words, bits), stack)
+             for bits, brick_words, _, stack in grid]
+    estimates = estimate_points(tasks, tech, jobs=jobs, cache=cache)
+    points = [
+        SweepPoint(
+            total_words=total_words,
+            bits=bits,
+            brick_words=brick_words,
+            stack=stack,
+            read_delay=est.read_delay,
+            read_energy=est.read_energy,
+            write_energy=est.write_energy,
+            area_um2=est.area_um2,
+            leakage_w=est.leakage_w,
+        )
+        for (bits, brick_words, total_words, stack), est
+        in zip(grid, estimates)
+    ]
+    return SweepResult(points, watch.elapsed())
 
 
 @dataclass(frozen=True)
@@ -135,7 +147,9 @@ def optimize_brick_selection(
         delay_weight: float = 1.0,
         energy_weight: float = 1.0,
         area_weight: float = 0.5,
-        memory_type: str = "8T") -> BrickChoice:
+        memory_type: str = "8T",
+        jobs: int = 1,
+        cache=None) -> BrickChoice:
     """Pick the brick size minimizing a weighted delay/energy/area cost.
 
     Implements the paper's Section 6 future work: "the synthesis tools
@@ -144,17 +158,16 @@ def optimize_brick_selection(
     normalized to the best candidate per axis, so weights express
     relative priorities without unit juggling.
     """
-    candidates: List[SweepPoint] = []
-    for brick_words in brick_words_options:
-        if total_words % brick_words != 0 or brick_words > total_words:
-            continue
-        result = sweep_partitions(
-            tech, (total_words,), (bits,), (brick_words,), memory_type)
-        candidates.extend(result.points)
-    if not candidates:
+    viable = tuple(bw for bw in brick_words_options
+                   if total_words % bw == 0 and bw <= total_words)
+    if not viable:
         raise ExplorationError(
             f"no brick size in {list(brick_words_options)} divides "
             f"{total_words}")
+    result = sweep_partitions(
+        tech, (total_words,), (bits,), viable, memory_type,
+        jobs=jobs, cache=cache)
+    candidates: List[SweepPoint] = result.points
     best_delay = min(p.read_delay for p in candidates)
     best_energy = min(p.read_energy for p in candidates)
     best_area = min(p.area_um2 for p in candidates)

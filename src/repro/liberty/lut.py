@@ -53,6 +53,15 @@ class LUT2D:
         return cls(tuple(slews), tuple(loads), values)
 
     @classmethod
+    def from_grid(cls, slews: Sequence[float], loads: Sequence[float],
+                  values) -> "LUT2D":
+        """Build from an already-computed ``len(slews) x len(loads)``
+        value grid (nested sequences or a 2-D numpy array)."""
+        grid = tuple(tuple(float(v) for v in row) for row in values)
+        return cls(tuple(float(s) for s in slews),
+                   tuple(float(l) for l in loads), grid)
+
+    @classmethod
     def constant(cls, value: float) -> "LUT2D":
         """A degenerate single-point LUT (returns ``value`` everywhere)."""
         return cls((0.0,), (0.0,), ((float(value),),))
@@ -84,6 +93,46 @@ class LUT2D:
         v10, v11 = v[i + 1][j], v[i + 1][j + 1]
         top = v00 * (1 - fj) + v01 * fj
         bot = v10 * (1 - fj) + v11 * fj
+        return top * (1 - fi) + bot * fi
+
+    @staticmethod
+    def _axis_segment_many(axis: Tuple[float, ...], x: "np.ndarray"
+                           ) -> Tuple["np.ndarray", "np.ndarray"]:
+        """Vectorized :meth:`_axis_segment` over an array of queries."""
+        n = len(axis)
+        if n == 1:
+            zero = np.zeros_like(x)
+            return zero.astype(int), zero
+        arr = np.asarray(axis)
+        lo = np.searchsorted(arr, x, side="right") - 1
+        lo = np.clip(lo, 0, n - 2)
+        span = arr[lo + 1] - arr[lo]
+        frac = (x - arr[lo]) / span
+        return lo, frac  # out-of-range fracs extrapolate linearly
+
+    def value_many(self, slews, loads) -> "np.ndarray":
+        """Vectorized :meth:`value`: interpolate many points in one call.
+
+        ``slews`` and ``loads`` are broadcast against each other (any
+        mix of scalars and numpy arrays); the result has the broadcast
+        shape.  Each element is bit-identical to the scalar
+        :meth:`value` at the same point — both paths perform the same
+        IEEE-double operations — which keeps STA and characterization
+        sweeps free to batch lookups without changing results.
+        """
+        s, l = np.broadcast_arrays(np.asarray(slews, dtype=float),
+                                   np.asarray(loads, dtype=float))
+        v = np.asarray(self.values)
+        if len(self.slews) == 1 and len(self.loads) == 1:
+            return np.full(s.shape, v[0, 0])
+        j, fj = self._axis_segment_many(self.loads, l)
+        if len(self.slews) == 1:
+            return v[0, j] * (1 - fj) + v[0, j + 1] * fj
+        i, fi = self._axis_segment_many(self.slews, s)
+        if len(self.loads) == 1:
+            return v[i, 0] * (1 - fi) + v[i + 1, 0] * fi
+        top = v[i, j] * (1 - fj) + v[i, j + 1] * fj
+        bot = v[i + 1, j] * (1 - fj) + v[i + 1, j + 1] * fj
         return top * (1 - fi) + bot * fi
 
     def scaled(self, factor: float) -> "LUT2D":

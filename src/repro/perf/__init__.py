@@ -1,0 +1,60 @@
+"""Performance subsystem: content-addressed caching and parallel execution.
+
+The paper's headline usability claim is that brick libraries are generated
+"within 2 seconds of wall clock", enabling the rapid design-space
+exploration of Fig. 4c.  This package makes repeated characterization
+*free* instead of merely fast:
+
+``repro.perf.fingerprint``
+    Stable, process-independent content fingerprints for
+    :class:`~repro.bricks.spec.BrickSpec`,
+    :class:`~repro.tech.technology.Technology` and arbitrary parameter
+    dataclasses, combined into versioned cache keys.
+``repro.perf.cache``
+    :class:`CharacterizationCache` — an in-memory LRU tier over an
+    optional on-disk tier (safe to delete, versioned key schema) with
+    hit/miss/byte statistics, plus a process-wide default instance.
+``repro.perf.parallel``
+    :func:`parallel_map` — deterministic-order fan-out of independent
+    characterization points over ``concurrent.futures``
+    ``ProcessPoolExecutor`` with a serial fallback for ``jobs=1`` (and
+    for sandboxes that forbid multiprocessing primitives).
+``repro.perf.characterize``
+    Cached + parallel entry points for the expensive brick artifacts:
+    compiled bricks, closed-form estimates, library cell models,
+    RC-extraction measurements and the standard-cell library.
+``repro.perf.timer``
+    ``perf_counter``-based wall-clock measurement helpers so no timing
+    claim is ever skewed by wall-clock adjustments.
+"""
+
+from .cache import (
+    CacheStats,
+    CharacterizationCache,
+    configure_default_cache,
+    default_cache,
+    resolve_cache,
+)
+from .characterize import (
+    cached_cell_model,
+    cached_compile,
+    cached_estimate,
+    cached_measure_read,
+    cached_stdcell_library,
+    characterize_cells,
+    estimate_points,
+)
+from .fingerprint import KEY_SCHEMA_VERSION, cache_key, fingerprint
+from .parallel import parallel_map, resolve_jobs
+from .timer import Stopwatch
+
+__all__ = [
+    "CacheStats", "CharacterizationCache",
+    "configure_default_cache", "default_cache", "resolve_cache",
+    "cached_cell_model", "cached_compile", "cached_estimate",
+    "cached_measure_read", "cached_stdcell_library",
+    "characterize_cells", "estimate_points",
+    "KEY_SCHEMA_VERSION", "cache_key", "fingerprint",
+    "parallel_map", "resolve_jobs",
+    "Stopwatch",
+]

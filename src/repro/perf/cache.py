@@ -1,0 +1,250 @@
+"""Content-addressed characterization cache.
+
+Two tiers:
+
+* an **in-memory LRU** (always on) holding the most recently used
+  artifacts of this process — repeated specs inside one sweep or flow hit
+  this tier in microseconds;
+* an optional **on-disk tier** (``cache_dir``) that persists artifacts
+  across processes and sessions.  Entries live under a
+  ``v<KEY_SCHEMA_VERSION>/`` subdirectory so a schema bump silently
+  orphans (never mis-reads) old entries, writes are atomic
+  (temp file + ``os.replace``), and a corrupted or truncated file is
+  treated as a miss — the directory is always safe to delete wholesale.
+
+Statistics (hits per tier, misses, evictions, bytes moved) are kept per
+cache instance and exposed via :attr:`CharacterizationCache.stats`.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from .fingerprint import KEY_SCHEMA_VERSION
+
+#: Default capacity of the in-memory LRU tier.  Artifacts are small
+#: (a CellModel is a few kilobytes of tuples) so this comfortably covers
+#: the largest sweeps while bounding a long-running service's footprint.
+DEFAULT_MAX_ENTRIES = 4096
+
+#: Environment variable consulted for an on-disk tier when the process
+#: never calls :func:`configure_default_cache` explicitly.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache instance."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    disk_errors: int = 0
+    bytes_written: int = 0
+    bytes_read: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "disk_errors": self.disk_errors,
+            "bytes_written": self.bytes_written,
+            "bytes_read": self.bytes_read,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class CharacterizationCache:
+    """LRU memory tier over an optional on-disk tier, keyed by
+    content fingerprints (see :mod:`repro.perf.fingerprint`).
+
+    Thread-safe; the disk layout is also safe for concurrent processes
+    (atomic replace, corrupt-file tolerance), which is what lets pool
+    workers share one ``cache_dir``.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES,
+                 cache_dir: Optional[str] = None,
+                 enabled: bool = True) -> None:
+        if max_entries < 1:
+            raise ValueError(
+                f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self.cache_dir = os.fspath(cache_dir) if cache_dir else None
+        self.enabled = enabled
+        self.stats = CacheStats()
+        self._memory: "OrderedDict[str, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    # --- disk tier --------------------------------------------------------
+
+    def _entry_path(self, key: str) -> str:
+        assert self.cache_dir is not None
+        return os.path.join(self.cache_dir, f"v{KEY_SCHEMA_VERSION}",
+                            f"{key}.pkl")
+
+    def _disk_read(self, key: str) -> Tuple[bool, Any]:
+        if self.cache_dir is None:
+            return False, None
+        path = self._entry_path(key)
+        try:
+            with open(path, "rb") as handle:
+                blob = handle.read()
+            value = pickle.loads(blob)
+        except FileNotFoundError:
+            return False, None
+        except Exception:
+            # Corrupted, truncated or unreadable entry: a miss, never a
+            # crash.  Drop the bad file so it is rewritten cleanly.
+            self.stats.disk_errors += 1
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return False, None
+        self.stats.bytes_read += len(blob)
+        return True, value
+
+    def _disk_write(self, key: str, value: Any) -> None:
+        if self.cache_dir is None:
+            return
+        path = self._entry_path(key)
+        try:
+            blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                       suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(blob)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.remove(tmp)
+                except OSError:
+                    pass
+                raise
+        except Exception:
+            # A full disk or unpicklable payload degrades to memory-only
+            # caching; characterization must never fail because of it.
+            self.stats.disk_errors += 1
+            return
+        self.stats.bytes_written += len(blob)
+
+    # --- public API -------------------------------------------------------
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """Return ``(found, value)`` without computing anything."""
+        if not self.enabled:
+            self.stats.misses += 1
+            return False, None
+        with self._lock:
+            if key in self._memory:
+                self._memory.move_to_end(key)
+                self.stats.memory_hits += 1
+                return True, self._memory[key]
+        found, value = self._disk_read(key)
+        if found:
+            self.stats.disk_hits += 1
+            self._memory_put(key, value)
+            return True, value
+        self.stats.misses += 1
+        return False, None
+
+    def _memory_put(self, key: str, value: Any) -> None:
+        with self._lock:
+            self._memory[key] = value
+            self._memory.move_to_end(key)
+            while len(self._memory) > self.max_entries:
+                self._memory.popitem(last=False)
+                self.stats.evictions += 1
+
+    def put(self, key: str, value: Any) -> None:
+        """Insert into both tiers (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self.stats.puts += 1
+        self._memory_put(key, value)
+        self._disk_write(key, value)
+
+    def get_or_compute(self, key: str, compute: Callable[[], Any]) -> Any:
+        """The memoization workhorse: lookup, else compute and insert."""
+        found, value = self.get(key)
+        if found:
+            return value
+        value = compute()
+        self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        """Drop the memory tier (disk entries are left untouched)."""
+        with self._lock:
+            self._memory.clear()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+
+# --- process-wide default cache ------------------------------------------
+
+_default_cache: Optional[CharacterizationCache] = None
+_default_lock = threading.Lock()
+
+
+def configure_default_cache(cache_dir: Optional[str] = None,
+                            enabled: bool = True,
+                            max_entries: int = DEFAULT_MAX_ENTRIES
+                            ) -> CharacterizationCache:
+    """(Re)build the process-wide cache; returns the new instance.
+
+    The CLI calls this from ``--cache-dir`` / ``--no-cache``; library
+    users may call it directly or pass explicit caches instead.
+    """
+    global _default_cache
+    with _default_lock:
+        _default_cache = CharacterizationCache(
+            max_entries=max_entries, cache_dir=cache_dir,
+            enabled=enabled)
+        return _default_cache
+
+
+def default_cache() -> CharacterizationCache:
+    """The process-wide cache, created on first use.
+
+    Honors ``REPRO_CACHE_DIR`` for an on-disk tier when set.
+    """
+    global _default_cache
+    with _default_lock:
+        if _default_cache is None:
+            _default_cache = CharacterizationCache(
+                cache_dir=os.environ.get(CACHE_DIR_ENV) or None)
+        return _default_cache
+
+
+def resolve_cache(cache: Optional[CharacterizationCache]
+                  ) -> CharacterizationCache:
+    """``cache`` if given, else the process default."""
+    return cache if cache is not None else default_cache()

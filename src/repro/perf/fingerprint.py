@@ -1,0 +1,101 @@
+"""Stable content fingerprints for cache keys.
+
+A characterization result is reusable exactly when every input that
+influenced it is identical: the :class:`~repro.bricks.spec.BrickSpec`,
+the full :class:`~repro.tech.technology.Technology` (a corner-derated or
+Monte-Carlo-perturbed tech must *not* share entries with nominal), the
+stack count and any extra sweep parameters.  Fingerprints therefore hash
+the complete *content* of those objects — not their identity — through a
+canonical encoding that is independent of process, dict insertion order
+and ``PYTHONHASHSEED``.
+
+Floats are encoded with ``float.hex()`` so the key distinguishes values
+that differ in the last ulp; two technologies produce the same
+fingerprint iff every electrical parameter is bit-identical, which is
+precisely the condition under which reusing a characterization is sound.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Any
+
+#: Version of the key schema.  Bump whenever the canonical encoding, the
+#: cached payloads, or the characterization formulas change shape in a
+#: way that makes old disk entries unsound to reuse.
+KEY_SCHEMA_VERSION = 1
+
+
+def _encode(obj: Any, out: list) -> None:
+    """Append a canonical token stream for ``obj`` to ``out``.
+
+    Token streams are prefix-free per type (every composite value emits
+    an open token carrying its length), so distinct structures can never
+    serialize to the same stream.
+    """
+    if obj is None or isinstance(obj, (bool, int)):
+        out.append(repr(obj))
+    elif isinstance(obj, float):
+        out.append(obj.hex())
+    elif isinstance(obj, str):
+        out.append(f"s{len(obj)}:{obj}")
+    elif isinstance(obj, bytes):
+        out.append(f"b{len(obj)}:")
+        out.append(obj.hex())
+    elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = dataclasses.fields(obj)
+        out.append(f"D{type(obj).__qualname__}:{len(fields)}(")
+        for f in sorted(fields, key=lambda f: f.name):
+            out.append(f.name)
+            _encode(getattr(obj, f.name), out)
+        out.append(")")
+    elif isinstance(obj, dict):
+        items = sorted(obj.items(), key=lambda kv: repr(kv[0]))
+        out.append(f"M{len(items)}(")
+        for key, value in items:
+            _encode(key, out)
+            _encode(value, out)
+        out.append(")")
+    elif isinstance(obj, (list, tuple)):
+        out.append(f"L{len(obj)}(")
+        for item in obj:
+            _encode(item, out)
+        out.append(")")
+    else:
+        try:
+            import numpy as np
+            if isinstance(obj, np.ndarray):
+                out.append(f"A{obj.shape}:{obj.dtype}:")
+                out.append(obj.tobytes().hex())
+                return
+            if isinstance(obj, np.generic):
+                _encode(obj.item(), out)
+                return
+        except ImportError:  # pragma: no cover - numpy is a hard dep
+            pass
+        raise TypeError(
+            f"cannot fingerprint object of type {type(obj).__name__}: "
+            f"{obj!r}")
+
+
+def fingerprint(obj: Any) -> str:
+    """Hex SHA-256 of the canonical encoding of ``obj``.
+
+    Stable across processes and interpreter invocations: the encoding
+    uses no ``hash()``, no ``id()`` and no dict insertion order.
+    """
+    out: list = []
+    _encode(obj, out)
+    digest = hashlib.sha256("\x1f".join(out).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def cache_key(kind: str, *parts: Any) -> str:
+    """A versioned cache key for an artifact of type ``kind``.
+
+    ``parts`` are the artifact's inputs (specs, technologies, stack
+    counts, sweep parameters); the schema version is folded in so stale
+    on-disk entries from older encodings can never be returned.
+    """
+    return fingerprint((KEY_SCHEMA_VERSION, kind, parts))

@@ -1,0 +1,56 @@
+"""Deterministic parallel fan-out for independent characterization points.
+
+Characterization points (one ``(spec, stack, tech)`` each) are pure
+functions of their inputs, so they parallelize embarrassingly.  The only
+subtlety is determinism: results must come back in task order regardless
+of worker scheduling, and ``jobs=1`` must take the plain serial path (no
+pool, no pickling) so single-threaded behavior is bit-for-bit what it
+always was.
+
+``ProcessPoolExecutor.map`` already yields results in input order, which
+gives order determinism for free; the values themselves are bit-identical
+to serial because workers run the exact same pure-float code on the same
+inputs.  Sandboxed environments that forbid multiprocessing primitives
+(no ``/dev/shm``, no ``fork``) degrade to the serial path instead of
+crashing.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` value: ``None``/``0`` mean "all cores"."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+def parallel_map(fn: Callable[[T], R], tasks: Sequence[T],
+                 jobs: int = 1) -> List[R]:
+    """``[fn(t) for t in tasks]`` fanned over ``jobs`` processes.
+
+    Results are returned in task order.  ``fn`` and every task must be
+    picklable when ``jobs > 1``; ``jobs <= 1`` (or a single task) runs
+    serially in-process.  If the platform cannot start a process pool,
+    the serial path is used as a silent fallback — results are identical
+    either way, only the wall clock differs.
+    """
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(tasks) <= 1:
+        return [fn(task) for task in tasks]
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+        workers = min(jobs, len(tasks))
+        chunksize = max(1, len(tasks) // (4 * workers))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, tasks, chunksize=chunksize))
+    except (OSError, PermissionError, ImportError, NotImplementedError):
+        return [fn(task) for task in tasks]

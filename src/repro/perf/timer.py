@@ -1,0 +1,38 @@
+"""Wall-clock measurement helpers.
+
+Every timing claim in the repo (the paper's "within 2 seconds", the
+sweep throughput numbers, the benchmark JSON artifacts) must come from
+``time.perf_counter`` — a monotonic, high-resolution clock — never from
+``time.time``, which NTP adjustments and DST can move backwards under a
+measurement.  Centralizing the stopwatch here makes that invariant a
+property of the codebase instead of a per-call-site convention.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Stopwatch:
+    """A started ``perf_counter`` stopwatch.
+
+    >>> sw = Stopwatch()
+    >>> ...work...
+    >>> sw.elapsed()   # seconds, monotonic
+    """
+
+    __slots__ = ("_start",)
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+
+    def elapsed(self) -> float:
+        """Seconds since construction (or the last :meth:`restart`)."""
+        return time.perf_counter() - self._start
+
+    def restart(self) -> float:
+        """Reset the origin; returns the elapsed time up to the reset."""
+        now = time.perf_counter()
+        elapsed = now - self._start
+        self._start = now
+        return elapsed

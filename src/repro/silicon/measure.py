@@ -76,13 +76,17 @@ def measure_chips(configs: Sequence[str], tech: Technology,
                   n_chips: int = 8,
                   variation: Optional[VariationModel] = None,
                   seed: int = 65,
-                  anneal_moves: int = 2000
-                  ) -> Dict[str, ConfigMeasurements]:
+                  anneal_moves: int = 2000,
+                  jobs: int = 1,
+                  cache=None) -> Dict[str, ConfigMeasurements]:
     """Emulate multi-chip measurement of the test-chip configurations.
 
     Every die re-runs the full flow (library regeneration included) at
     its perturbed technology — dies are physical objects, and their
-    periphery, bricks and wires all shift together.
+    periphery, bricks and wires all shift together.  Each die's tech
+    fingerprints differently, so the characterization cache reuses
+    nothing *across* dies (correct: their bricks really differ) while
+    configurations sharing a brick point *within* one die reuse it.
     """
     if variation is None:
         variation = VariationModel()
@@ -93,7 +97,8 @@ def measure_chips(configs: Sequence[str], tech: Technology,
         for sample in samples:
             die_tech = sample.apply(tech)
             flow = run_config_flow(config, die_tech,
-                                   anneal_moves=anneal_moves)
+                                   anneal_moves=anneal_moves,
+                                   jobs=jobs, cache=cache)
             fmax = flow.fmax * sample.measurement_noise
             chips.append(ChipMeasurement(
                 chip_id=sample.chip_id,
@@ -106,19 +111,23 @@ def measure_chips(configs: Sequence[str], tech: Technology,
 
 
 def simulate_corners(configs: Sequence[str], tech: Technology,
-                     anneal_moves: int = 2000
-                     ) -> Dict[str, CornerSimulation]:
+                     anneal_moves: int = 2000,
+                     jobs: int = 1,
+                     cache=None) -> Dict[str, CornerSimulation]:
     """Library-based corner simulations (the Fig. 4b overlay)."""
     results: Dict[str, CornerSimulation] = {}
     for config in configs:
         best = run_config_flow(config, BEST.apply(tech),
                                with_power=False,
-                               anneal_moves=anneal_moves)
+                               anneal_moves=anneal_moves,
+                               jobs=jobs, cache=cache)
         nominal = run_config_flow(config, tech,
-                                  anneal_moves=anneal_moves)
+                                  anneal_moves=anneal_moves,
+                                  jobs=jobs, cache=cache)
         worst = run_config_flow(config, WORST.apply(tech),
                                 with_power=False,
-                                anneal_moves=anneal_moves)
+                                anneal_moves=anneal_moves,
+                                jobs=jobs, cache=cache)
         results[config] = CornerSimulation(
             config=config,
             fmax_best=best.fmax,

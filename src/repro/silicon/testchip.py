@@ -13,15 +13,13 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
-from ..bricks.library import generate_brick_library
 from ..bricks.spec import sram_brick
 from ..bricks.stack import BankConfig, partitioned, single_partition
-from ..cells.stdcells import make_stdcell_library
 from ..errors import SiliconError
 from ..liberty.models import LibraryModel
 from ..rtl.memory import build_sram
 from ..rtl.module import Module
-from ..synth.flow import FlowResult, run_flow
+from ..synth.flow import FlowResult, prepare_libraries, run_flow
 from ..tech.technology import Technology
 
 #: The five taped-out configurations of Fig. 4a.
@@ -46,14 +44,19 @@ def config_bank(name: str) -> BankConfig:
         f"{CONFIG_NAMES}")
 
 
-def build_config(name: str, tech: Technology
-                 ) -> Tuple[Module, LibraryModel, BankConfig]:
+def build_config(name: str, tech: Technology, jobs: int = 1,
+                 cache=None) -> Tuple[Module, LibraryModel, BankConfig]:
     """RTL plus merged (std cell + brick) libraries for a config at a
-    given technology (nominal, corner-derated, or a chip sample)."""
+    given technology (nominal, corner-derated, or a chip sample).
+
+    Library generation routes through :mod:`repro.perf`, so configs
+    sharing a brick point (B and E both stack the 16x10 brick 2x) and
+    repeated builds at the same technology characterize it once.
+    """
     bank = config_bank(name)
-    std = make_stdcell_library(tech)
-    bricks, _ = generate_brick_library([(bank.brick, bank.stack)], tech)
-    return build_sram(bank), std.merged_with(bricks), bank
+    library = prepare_libraries([(bank.brick, bank.stack)], tech,
+                                jobs=jobs, cache=cache)
+    return build_sram(bank), library, bank
 
 
 def read_stimulus(bank: BankConfig, n_cycles: int = 64,
@@ -75,9 +78,12 @@ def read_stimulus(bank: BankConfig, n_cycles: int = 64,
 def run_config_flow(name: str, tech: Technology,
                     with_power: bool = True,
                     anneal_moves: int = 4000,
-                    seed: int = 2015) -> FlowResult:
+                    seed: int = 2015,
+                    jobs: int = 1,
+                    cache=None) -> FlowResult:
     """Push one test-chip configuration through the full flow."""
-    top, library, bank = build_config(name, tech)
+    top, library, bank = build_config(name, tech, jobs=jobs,
+                                      cache=cache)
     stimulus = read_stimulus(bank) if with_power else None
     return run_flow(top, library, tech, stimulus=stimulus,
                     anneal_moves=anneal_moves, seed=seed)

@@ -2,7 +2,7 @@
 
 from .clock import ClockTree, build_clock_tree
 from .floorplan import Floorplan, Placement, build_floorplan
-from .flow import FlowResult, run_flow
+from .flow import FlowResult, prepare_libraries, run_flow
 from .mapper import resize_for_load, synthesize_truth_table
 from .place import PlacedDesign, place
 from .power import PowerReport, analyze_power
@@ -13,7 +13,7 @@ from .timing import PathPoint, TimingAnalyzer, TimingReport, analyze_timing
 __all__ = [
     "ClockTree", "build_clock_tree",
     "Floorplan", "Placement", "build_floorplan",
-    "FlowResult", "run_flow",
+    "FlowResult", "prepare_libraries", "run_flow",
     "resize_for_load", "synthesize_truth_table",
     "PlacedDesign", "place",
     "PowerReport", "analyze_power",

@@ -38,6 +38,25 @@ from .timing import TimingReport, analyze_timing
 Stimulus = Callable[[LogicSimulator], None]
 
 
+def prepare_libraries(brick_requests, tech: Technology,
+                      jobs: int = 1, cache=None) -> LibraryModel:
+    """Standard cells + brick macros for a flow run, via ``repro.perf``.
+
+    ``brick_requests`` is a sequence of ``(BrickSpec, stack)`` pairs.
+    Both the standard-cell characterization and every brick cell model
+    route through the content-addressed cache, so running the flow on N
+    designs sharing bricks (the Fig. 4b configs A–E all use the 16x10
+    brick) characterizes each unique point exactly once; cold points fan
+    out over ``jobs`` processes.
+    """
+    from ..bricks.library import generate_brick_library
+    from ..perf.characterize import cached_stdcell_library
+    std = cached_stdcell_library(tech, cache=cache)
+    bricks, _ = generate_brick_library(brick_requests, tech,
+                                       jobs=jobs, cache=cache)
+    return std.merged_with(bricks)
+
+
 @dataclass
 class FlowResult:
     """Everything the flow produced for one design."""

@@ -27,6 +27,26 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
 
+    def test_perf_flag_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.jobs == 1
+        assert args.cache_dir is None
+        assert not args.no_cache
+
+    def test_perf_flags_parse(self):
+        args = build_parser().parse_args(
+            ["--jobs", "4", "--cache-dir", "/tmp/c", "--no-cache",
+             "sweep"])
+        assert args.jobs == 4
+        assert args.cache_dir == "/tmp/c"
+        assert args.no_cache
+
+    def test_negative_or_garbage_jobs_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--jobs", "-1", "sweep"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--jobs", "abc", "sweep"])
+
 
 class TestCommands:
     def test_brick_command(self, capsys):
@@ -75,3 +95,34 @@ class TestCommands:
         code = main(["sram", "--words", "40", "--bits", "8"])
         assert code == 1
         assert "error:" in capsys.readouterr().err
+
+    def test_sweep_with_jobs(self, capsys):
+        assert main(["--jobs", "2", "sweep", "--total-words", "32",
+                     "--bits", "8", "--brick-words", "8", "16"]) == 0
+        assert "pareto-optimal" in capsys.readouterr().out
+
+    def test_cache_dir_persists_entries(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert main(["--cache-dir", str(cache_dir), "--cache-stats",
+                     "sweep", "--total-words", "32", "--bits", "8",
+                     "--brick-words", "8"]) == 0
+        entries = list(cache_dir.rglob("*.pkl"))
+        assert entries, "disk cache left no entries"
+        err = capsys.readouterr().err
+        assert "cache:" in err
+        # Second run at the same dir hits disk instead of recomputing.
+        assert main(["--cache-dir", str(cache_dir), "--cache-stats",
+                     "sweep", "--total-words", "32", "--bits", "8",
+                     "--brick-words", "8"]) == 0
+        err = capsys.readouterr().err
+        assert "1 disk" in err
+
+    def test_no_cache_disables_default(self, capsys):
+        from repro.perf import default_cache
+        try:
+            assert main(["--no-cache", "sweep", "--total-words", "32",
+                         "--bits", "8", "--brick-words", "8"]) == 0
+            assert not default_cache().enabled
+        finally:
+            from repro.perf import configure_default_cache
+            configure_default_cache()

@@ -83,6 +83,74 @@ class TestLUT2D:
         *_, err = lut.fit_plane()
         assert err > 0
 
+    def test_from_grid_matches_from_function(self):
+        fn = lambda s, l: 1.0 + 2.0 * s + 3.0 * l  # noqa: E731
+        slews, loads = (0.0, 1.0), (0.0, 2.0, 4.0)
+        grid = [[fn(s, l) for l in loads] for s in slews]
+        assert LUT2D.from_grid(slews, loads, grid) == \
+            LUT2D.from_function(fn, slews, loads)
+
+
+class TestLUT2DVectorized:
+    """value_many must be bit-identical to the scalar value()."""
+
+    def _assert_matches_scalar(self, lut, slews, loads):
+        import numpy as np
+        got = lut.value_many(np.asarray(slews), np.asarray(loads))
+        for s, l, v in zip(slews, loads, got):
+            assert v == lut.value(s, l)  # exact, not approx
+
+    def test_grid_interior_and_extrapolation(self):
+        lut = _lut()
+        slews = [1.0, 1.5, 2.0, 0.2, 5.0, 1.0, 1.99]
+        loads = [10.0, 15.0, 30.0, 5.0, 50.0, -3.0, 29.0]
+        self._assert_matches_scalar(lut, slews, loads)
+
+    def test_single_point_lut(self):
+        lut = LUT2D.constant(7.5)
+        self._assert_matches_scalar(lut, [0.0, 1.0, -2.0],
+                                    [0.0, 3.0, 9.0])
+
+    def test_single_row_and_column_luts(self):
+        row = LUT2D((1.0,), (1.0, 2.0, 3.0), ((1.0, 4.0, 9.0),))
+        col = LUT2D((1.0, 2.0, 3.0), (1.0,),
+                    ((1.0,), (4.0,), (9.0,)))
+        self._assert_matches_scalar(row, [1.0, 9.9, 0.0],
+                                    [0.5, 2.5, 3.5])
+        self._assert_matches_scalar(col, [0.5, 2.5, 3.5],
+                                    [1.0, 9.9, 0.0])
+
+    def test_broadcasting_scalar_against_array(self):
+        import numpy as np
+        lut = _lut()
+        loads = np.array([5.0, 15.0, 25.0, 35.0])
+        got = lut.value_many(1.5, loads)
+        assert got.shape == loads.shape
+        for l, v in zip(loads, got):
+            assert v == lut.value(1.5, l)
+
+    def test_outer_grid_shape(self):
+        import numpy as np
+        lut = _lut()
+        s = np.array([[1.0], [1.5], [2.0]])   # 3x1
+        l = np.array([[12.0, 22.0]])          # 1x2
+        got = lut.value_many(s, l)
+        assert got.shape == (3, 2)
+        for i in range(3):
+            for j in range(2):
+                assert got[i, j] == lut.value(s[i, 0], l[0, j])
+
+    def test_characterized_brick_lut(self, fig3_library):
+        import numpy as np
+        cell = fig3_library.cell("brick_16_10_s2")
+        arc = cell.arc("CLK", "ARBL")
+        rng = np.random.default_rng(42)
+        slews = rng.uniform(0.0, 1e-9, size=64)
+        loads = rng.uniform(0.0, 2e-13, size=64)
+        got = arc.delay.value_many(slews, loads)
+        for s, l, v in zip(slews, loads, got):
+            assert v == arc.delay.value(s, l)
+
 
 def _cell():
     delay = LUT2D.constant(1e-10)

@@ -1,0 +1,240 @@
+"""The content-addressed characterization cache (repro.perf)."""
+
+from __future__ import annotations
+
+import os
+import pickle
+import subprocess
+import sys
+
+import pytest
+
+from repro.bricks import sram_brick
+from repro.perf import (
+    KEY_SCHEMA_VERSION,
+    CharacterizationCache,
+    cache_key,
+    cached_cell_model,
+    cached_compile,
+    cached_estimate,
+    cached_stdcell_library,
+    configure_default_cache,
+    default_cache,
+    fingerprint,
+)
+from repro.tech import cmos65
+from repro.tech.corners import WORST
+
+
+class TestFingerprint:
+    def test_deterministic_within_process(self, tech):
+        assert fingerprint(tech) == fingerprint(tech)
+        spec = sram_brick(16, 10)
+        assert fingerprint(spec) == fingerprint(sram_brick(16, 10))
+
+    def test_distinguishes_specs(self):
+        assert fingerprint(sram_brick(16, 10)) != \
+            fingerprint(sram_brick(16, 11))
+        assert fingerprint(sram_brick(16, 10)) != \
+            fingerprint(sram_brick(10, 16))
+
+    def test_distinguishes_technologies(self, tech):
+        derated = WORST.apply(tech)
+        assert fingerprint(tech) != fingerprint(derated)
+        # An ulp-level change must change the key: reusing a
+        # characterization across different electricals is unsound.
+        import dataclasses
+        nudged = dataclasses.replace(
+            tech, r_on_n=tech.r_on_n * (1 + 1e-15))
+        assert fingerprint(tech) != fingerprint(nudged)
+
+    def test_dict_order_independent(self):
+        assert fingerprint({"a": 1, "b": 2.5}) == \
+            fingerprint({"b": 2.5, "a": 1})
+
+    def test_type_confusion_resistant(self):
+        assert fingerprint([1, 2]) != fingerprint([12])
+        assert fingerprint(("ab",)) != fingerprint(("a", "b"))
+        assert fingerprint(1) != fingerprint(1.0)
+        assert fingerprint("1") != fingerprint(1)
+
+    def test_rejects_unfingerprintable(self):
+        with pytest.raises(TypeError):
+            fingerprint(lambda: None)
+
+    def test_key_includes_schema_version_and_kind(self, tech):
+        spec = sram_brick(16, 10)
+        assert cache_key("estimate", spec, tech, 2) != \
+            cache_key("cellmodel", spec, tech, 2)
+
+    def test_stable_across_processes(self, tech):
+        """The core disk-cache soundness property: a fresh interpreter
+        (fresh PYTHONHASHSEED, fresh dict order) derives the same key."""
+        spec = sram_brick(16, 10)
+        here = cache_key("estimate", spec, tech, 4)
+        script = (
+            "from repro.tech import cmos65\n"
+            "from repro.bricks import sram_brick\n"
+            "from repro.perf import cache_key\n"
+            "print(cache_key('estimate', sram_brick(16, 10), "
+            "cmos65(), 4))\n")
+        import repro
+        src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_dir + os.pathsep + \
+            env.get("PYTHONPATH", "")
+        env["PYTHONHASHSEED"] = "12345"
+        out = subprocess.run(
+            [sys.executable, "-c", script], env=env,
+            capture_output=True, text=True, check=True)
+        assert out.stdout.strip() == here
+
+
+class TestMemoryTier:
+    def test_get_or_compute_caches(self):
+        cache = CharacterizationCache()
+        calls = []
+        value = cache.get_or_compute("k", lambda: calls.append(1) or 42)
+        again = cache.get_or_compute(
+            "k", lambda: pytest.fail("recomputed"))
+        assert value == again == 42
+        assert len(calls) == 1
+        assert cache.stats.memory_hits == 1
+        assert cache.stats.misses == 1
+
+    def test_lru_eviction(self):
+        cache = CharacterizationCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a; b is now least recent
+        cache.put("c", 3)
+        assert cache.get("b") == (False, None)
+        assert cache.get("a") == (True, 1)
+        assert cache.get("c") == (True, 3)
+        assert cache.stats.evictions == 1
+
+    def test_disabled_cache_always_computes(self):
+        cache = CharacterizationCache(enabled=False)
+        calls = []
+        cache.get_or_compute("k", lambda: calls.append(1) or 1)
+        cache.get_or_compute("k", lambda: calls.append(1) or 1)
+        assert len(calls) == 2
+        assert cache.stats.hits == 0
+
+
+class TestDiskTier:
+    def test_round_trip(self, tech, tmp_path):
+        spec = sram_brick(16, 10)
+        writer = CharacterizationCache(cache_dir=str(tmp_path))
+        est = cached_estimate(spec, tech, stack=2, cache=writer)
+        assert writer.stats.bytes_written > 0
+        # A second cache instance (fresh process's view) hits disk.
+        reader = CharacterizationCache(cache_dir=str(tmp_path))
+        est2 = cached_estimate(spec, tech, stack=2, cache=reader)
+        assert reader.stats.disk_hits == 1
+        assert pickle.dumps(est) == pickle.dumps(est2)
+
+    def test_versioned_layout(self, tmp_path):
+        cache = CharacterizationCache(cache_dir=str(tmp_path))
+        cache.put("deadbeef", {"x": 1})
+        entry = tmp_path / f"v{KEY_SCHEMA_VERSION}" / "deadbeef.pkl"
+        assert entry.exists()
+
+    def test_corrupt_file_is_miss_not_crash(self, tmp_path):
+        cache = CharacterizationCache(cache_dir=str(tmp_path))
+        cache.put("key1", [1, 2, 3])
+        entry = tmp_path / f"v{KEY_SCHEMA_VERSION}" / "key1.pkl"
+        entry.write_bytes(b"not a pickle \x00\x01garbage")
+        fresh = CharacterizationCache(cache_dir=str(tmp_path))
+        found, _ = fresh.get("key1")
+        assert not found
+        assert fresh.stats.disk_errors == 1
+        assert not entry.exists()  # bad entry dropped for rewrite
+        # And get_or_compute recovers transparently.
+        assert fresh.get_or_compute("key1", lambda: "recomputed") == \
+            "recomputed"
+
+    def test_truncated_file_is_miss(self, tmp_path):
+        cache = CharacterizationCache(cache_dir=str(tmp_path))
+        cache.put("key2", list(range(1000)))
+        entry = tmp_path / f"v{KEY_SCHEMA_VERSION}" / "key2.pkl"
+        entry.write_bytes(entry.read_bytes()[:10])
+        fresh = CharacterizationCache(cache_dir=str(tmp_path))
+        assert fresh.get("key2") == (False, None)
+
+    def test_unwritable_dir_degrades_to_memory(self, tech, tmp_path):
+        blocked = tmp_path / "blocked"
+        blocked.write_text("a file, not a directory")
+        cache = CharacterizationCache(cache_dir=str(blocked))
+        est = cached_estimate(sram_brick(8, 8), tech, cache=cache)
+        assert est.read_delay > 0
+        assert cache.stats.disk_errors >= 1
+        assert cache.stats.memory_hits == 0
+        # memory tier still works
+        cached_estimate(sram_brick(8, 8), tech, cache=cache)
+        assert cache.stats.memory_hits == 1
+
+
+class TestCachedArtifacts:
+    def test_cached_compile_identical(self, tech):
+        cache = CharacterizationCache()
+        spec = sram_brick(16, 10)
+        one = cached_compile(spec, tech, stack=4, cache=cache)
+        two = cached_compile(spec, tech, stack=4, cache=cache)
+        assert one is two  # memory tier returns the same artifact
+
+    def test_different_stack_different_entry(self, tech):
+        cache = CharacterizationCache()
+        spec = sram_brick(16, 10)
+        a = cached_estimate(spec, tech, stack=1, cache=cache)
+        b = cached_estimate(spec, tech, stack=8, cache=cache)
+        assert a.read_delay != b.read_delay
+        assert cache.stats.misses >= 2
+
+    def test_corner_tech_not_aliased(self, tech):
+        cache = CharacterizationCache()
+        spec = sram_brick(16, 10)
+        nominal = cached_estimate(spec, tech, stack=1, cache=cache)
+        worst = cached_estimate(spec, WORST.apply(tech), stack=1,
+                                cache=cache)
+        assert worst.read_delay > nominal.read_delay
+
+    def test_cached_cell_model_matches_direct(self, tech):
+        from repro.bricks import brick_cell_model, compile_brick
+        cache = CharacterizationCache()
+        spec = sram_brick(16, 10)
+        via_cache = cached_cell_model(spec, tech, stack=2, cache=cache)
+        direct = brick_cell_model(
+            compile_brick(spec, tech, target_stack=2), tech, stack=2)
+        assert pickle.dumps(via_cache) == pickle.dumps(direct)
+
+    def test_cached_stdcell_library_isolated_container(self, tech):
+        cache = CharacterizationCache()
+        lib1 = cached_stdcell_library(tech, cache=cache)
+        n = len(lib1)
+        # Mutating the returned container must not pollute the cache.
+        lib1.cells.pop(next(iter(lib1.cells)))
+        lib2 = cached_stdcell_library(tech, cache=cache)
+        assert len(lib2) == n
+
+
+class TestDefaultCache:
+    def test_configure_and_resolve(self, tmp_path):
+        try:
+            cache = configure_default_cache(cache_dir=str(tmp_path))
+            assert default_cache() is cache
+            assert cache.cache_dir == str(tmp_path)
+        finally:
+            configure_default_cache()  # reset to a clean default
+
+    def test_generate_brick_library_uses_default(self, tech):
+        from repro.bricks import generate_brick_library
+        try:
+            configure_default_cache()
+            requests = [(sram_brick(16, 10), 2)]
+            generate_brick_library(requests, tech)
+            before = default_cache().stats.hits
+            generate_brick_library(requests, tech)
+            assert default_cache().stats.hits > before
+        finally:
+            configure_default_cache()
