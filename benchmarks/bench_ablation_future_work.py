@@ -14,27 +14,26 @@ Three studies beyond the paper's published data:
    at scaled nodes.
 """
 
-import pytest
 
 from bench_util import print_table
 from repro.bricks import compile_brick, estimate_brick, sram_brick
-from repro.explore import optimize_brick_selection, sweep_partitions
 from repro.rtl import fig3_sram
-from repro.synth import run_flow
 from repro.tech import cmos14, cmos28, cmos45, cmos65
 from repro.units import PJ, PS
 
 
-def test_ablation_brick_selection_gain(benchmark, tech):
+def test_ablation_brick_selection_gain(benchmark, session):
     """Automatic brick selection vs the worst fixed brick choice."""
 
     def kernel():
         rows = []
         for total_words, bits in [(128, 8), (128, 16), (256, 16)]:
-            sweep = sweep_partitions(
-                tech, (total_words,), (bits,), (8, 16, 32, 64))
-            choice = optimize_brick_selection(
-                tech, total_words, bits,
+            sweep = session.sweep_partitions(
+                total_words_options=(total_words,),
+                bits_options=(bits,),
+                brick_words_options=(8, 16, 32, 64))
+            choice = session.optimize_brick_selection(
+                total_words, bits,
                 brick_words_options=(8, 16, 32, 64))
 
             def cost(p):
@@ -62,21 +61,21 @@ def test_ablation_brick_selection_gain(benchmark, tech):
         assert gain > 1.1  # the optimizer must beat the worst choice
 
 
-def test_ablation_drive_resizing(benchmark, tech, stdlib):
+def test_ablation_drive_resizing(benchmark, session, stdlib):
     """Post-route drive selection vs everything at X1."""
     from repro.bricks import generate_brick_library
 
     module_a, config = fig3_sram()
     module_b, _ = fig3_sram()
     bricks, _ = generate_brick_library(
-        [(config.brick, config.stack)], tech)
+        [(config.brick, config.stack)], session=session)
     library = stdlib.merged_with(bricks)
 
     def kernel():
-        unsized = run_flow(module_a, library, tech, anneal_moves=1000,
-                           resize=False)
-        sized = run_flow(module_b, library, tech, anneal_moves=1000,
-                         resize=True)
+        unsized = session.run_flow(module_a, library,
+                                   anneal_moves=1000, resize=False)
+        sized = session.run_flow(module_b, library,
+                                 anneal_moves=1000, resize=True)
         return unsized, sized
 
     unsized, sized = benchmark.pedantic(kernel, rounds=1, iterations=1)

@@ -11,17 +11,16 @@ import random
 import pytest
 
 from bench_util import print_table
-from repro.bricks import generate_brick_library, sram_brick
+from repro.bricks import generate_brick_library
 from repro.rtl import LogicSimulator, elaborate, emit_module, fig3_sram
-from repro.synth import run_flow
 from repro.units import MHZ, PJ
 
 
 @pytest.fixture(scope="module")
-def fig3(tech, stdlib):
+def fig3(session, stdlib):
     module, config = fig3_sram()
     bricks, gen_seconds = generate_brick_library(
-        [(config.brick, config.stack)], tech)
+        [(config.brick, config.stack)], session=session)
     library = stdlib.merged_with(bricks)
     flat = elaborate(module, library)
 
@@ -34,8 +33,8 @@ def fig3(tech, stdlib):
             sim.set_input("we", 1)
             sim.clock()
 
-    flow = run_flow(module, library, tech, stimulus=stimulus,
-                    anneal_moves=2000)
+    flow = session.run_flow(module, library, stimulus=stimulus,
+                            anneal_moves=2000)
     return module, config, library, flat, flow, gen_seconds
 
 

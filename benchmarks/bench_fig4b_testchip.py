@@ -29,10 +29,11 @@ _ANNEAL = 1500
 
 
 @pytest.fixture(scope="module")
-def fig4b(tech):
-    measured = measure_chips(_CONFIGS, tech, n_chips=_N_CHIPS,
-                             anneal_moves=_ANNEAL)
-    simulated = simulate_corners(_CONFIGS, tech, anneal_moves=_ANNEAL)
+def fig4b(session):
+    measured = measure_chips(_CONFIGS, n_chips=_N_CHIPS,
+                             anneal_moves=_ANNEAL, session=session)
+    simulated = simulate_corners(_CONFIGS, anneal_moves=_ANNEAL,
+                                 session=session)
     return measured, simulated
 
 
@@ -72,16 +73,16 @@ def test_fig4b_performance_ordering(benchmark, fig4b):
     assert fmax["E"] < fmax["B"]
 
 
-def test_fig4b_energy_and_area_tradeoff(benchmark, fig4b, tech):
+def test_fig4b_energy_and_area_tradeoff(benchmark, fig4b, session):
     measured, _ = fig4b
     benchmark.pedantic(lambda: measured, rounds=1, iterations=1)
     # 4. "E consume less energy compared to D ... traded off with larger
     # area consumption".
     assert measured["E"].mean_energy < measured["D"].mean_energy
-    flow_d = run_config_flow("D", tech, with_power=False,
-                             anneal_moves=_ANNEAL)
-    flow_e = run_config_flow("E", tech, with_power=False,
-                             anneal_moves=_ANNEAL)
+    flow_d = run_config_flow("D", with_power=False,
+                             anneal_moves=_ANNEAL, session=session)
+    flow_e = run_config_flow("E", with_power=False,
+                             anneal_moves=_ANNEAL, session=session)
     # Partitioning fragments the floorplan (four macros plus their
     # spacing and duplicated periphery) — the "larger area consumption
     # that inherently comes from partitioning".

@@ -11,14 +11,14 @@ import pytest
 
 from bench_util import emit_bench_json, print_table
 from repro.bricks import generate_brick_library, sram_brick
-from repro.explore import pareto_front, sweep_partitions
+from repro.explore import pareto_front
 from repro.perf import CharacterizationCache
 from repro.units import PJ, PS
 
 
 @pytest.fixture(scope="module")
-def fig4c(tech):
-    return sweep_partitions(tech)
+def fig4c(session):
+    return session.sweep_partitions()
 
 
 def test_fig4c_report(benchmark, fig4c):
@@ -48,14 +48,14 @@ def test_fig4c_report(benchmark, fig4c):
           f"(paper: 'within 2 seconds')")
 
 
-def test_fig4c_two_second_claim(benchmark, tech):
+def test_fig4c_two_second_claim(benchmark, session):
     """Both the estimator sweep and full library generation (netlists +
     LUT characterization) must finish within the paper's 2 seconds."""
 
     def kernel():
         requests = [(sram_brick(w, b), 128 // w)
                     for w in (16, 32, 64) for b in (8, 16, 32)]
-        return generate_brick_library(requests, tech)
+        return generate_brick_library(requests, session=session)
 
     library, elapsed = benchmark.pedantic(kernel, rounds=1,
                                           iterations=1)
@@ -111,21 +111,21 @@ def test_fig4c_pareto_front(benchmark, fig4c):
           f"{[(p.label) for p in front]}")
 
 
-def test_benchmark_sweep_throughput(benchmark, tech):
-    result = benchmark(lambda: sweep_partitions(tech))
+def test_benchmark_sweep_throughput(benchmark, session):
+    result = benchmark(lambda: session.sweep_partitions())
     assert len(result.points) == 9
 
 
-def test_fig4c_cold_vs_warm_cache_json(benchmark, tech):
+def test_fig4c_cold_vs_warm_cache_json(benchmark, session):
     """Perf tracking artifact: cold vs warm-cache wall clock for the
     paper's 9-brick sweep, emitted as BENCH_fig4c.json.
 
     Acceptance floor for the characterization cache: warm >= 5x faster
     than cold (in practice it is orders of magnitude)."""
-    cache = CharacterizationCache()
+    cold_session = session.derive(cache=CharacterizationCache())
 
     def run():
-        return sweep_partitions(tech, cache=cache)
+        return cold_session.sweep_partitions()
 
     cold = benchmark.pedantic(run, rounds=1, iterations=1)
     warm = min((run() for _ in range(5)),

@@ -9,7 +9,6 @@ CAM + value SRAM, one 32-entry vertical CAM — at three levels:
   matrix product through the structure).
 """
 
-import pytest
 
 from bench_util import print_table
 from repro.bricks import cam_brick, generate_brick_library, \

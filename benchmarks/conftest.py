@@ -12,12 +12,19 @@ from __future__ import annotations
 import pytest
 
 from repro.cells import make_stdcell_library
+from repro.session import Session
 from repro.tech import cmos65
 
 
 @pytest.fixture(scope="session")
 def tech():
     return cmos65()
+
+
+@pytest.fixture(scope="session")
+def session(tech):
+    """Shared run context: one characterization cache across benchmarks."""
+    return Session(tech)
 
 
 @pytest.fixture(scope="session")

@@ -19,7 +19,6 @@ Run:  python examples/custom_lim_design.py
 
 import random
 
-from repro.bricks import generate_brick_library
 from repro.cells import make_stdcell_library
 from repro.rtl import (
     LogicSimulator,
@@ -27,15 +26,15 @@ from repro.rtl import (
     elaborate,
     update_datapath_reference,
 )
-from repro.synth import run_flow
+from repro.session import Session
 from repro.tech import cmos65
 from repro.units import MHZ, PJ
 
 
-def evaluate(words, value_bits, tech, stdlib):
+def evaluate(words, value_bits, session, stdlib):
     module, spec = build_update_datapath(words=words,
                                          value_bits=value_bits)
-    bricks, _ = generate_brick_library([(spec, 1)], tech)
+    bricks, _ = session.generate_brick_library([(spec, 1)])
     library = stdlib.merged_with(bricks)
 
     def stimulus(sim):
@@ -52,18 +51,18 @@ def evaluate(words, value_bits, tech, stdlib):
             sim.set_input("enable", 1)
             sim.clock()
 
-    result = run_flow(module, library, tech, stimulus=stimulus,
-                      anneal_moves=1500)
+    result = session.run_flow(module, library, stimulus=stimulus,
+                              anneal_moves=1500)
     return module, library, result
 
 
 def main() -> None:
-    tech = cmos65()
-    stdlib = make_stdcell_library(tech)
+    session = Session(cmos65())
+    stdlib = make_stdcell_library(session.tech)
 
     # --- functional verification of the 16x10 instance -------------------
     module, spec = build_update_datapath(words=16, value_bits=10)
-    bricks, _ = generate_brick_library([(spec, 1)], tech)
+    bricks, _ = session.generate_brick_library([(spec, 1)])
     sim = LogicSimulator(elaborate(module,
                                    stdlib.merged_with(bricks)))
     rng = random.Random(1)
@@ -98,7 +97,7 @@ def main() -> None:
           f"{'area':>10s} {'cells':>6s}")
     print("-" * 52)
     for words, value_bits in [(8, 8), (16, 10), (32, 10), (16, 16)]:
-        _, _, result = evaluate(words, value_bits, tech, stdlib)
+        _, _, result = evaluate(words, value_bits, session, stdlib)
         stats = result.netlist.stats()
         print(f"{'%dx%db' % (words, value_bits):>10s} "
               f"{result.fmax / MHZ:>6.0f}MHz "

@@ -18,12 +18,8 @@ Run:  python examples/design_space_exploration.py
 
 import time
 
-from repro.explore import (
-    knee_point,
-    optimize_brick_selection,
-    pareto_front,
-    sweep_partitions,
-)
+from repro.explore import knee_point, pareto_front
+from repro.session import Session
 from repro.tech import cmos65
 from repro.units import PJ, PS
 
@@ -46,19 +42,22 @@ def print_sweep(result, reference):
               f"{norm['area']:>5.2f}")
 
 
+def metrics(p):
+    return (p.read_delay, p.read_energy, p.area_um2)
+
+
 def main() -> None:
-    tech = cmos65()
+    session = Session(cmos65())
 
     # --- 1. the paper's grid ------------------------------------------------
     start = time.perf_counter()
-    result = sweep_partitions(tech)
+    result = session.sweep_partitions()
     elapsed = time.perf_counter() - start
     print(f"Fig. 4c sweep: 9 bricks explored in {elapsed * 1e3:.0f} ms "
           f"(paper: 'within 2 seconds')\n")
     print_sweep(result, result.point(128, 8, 16))
 
     # --- 2. pareto front -------------------------------------------------------
-    metrics = lambda p: (p.read_delay, p.read_energy, p.area_um2)
     front = pareto_front(result.points, metrics)
     knee = knee_point(result.points, metrics)
     print(f"\npareto-optimal designs ({len(front)} of "
@@ -70,11 +69,11 @@ def main() -> None:
     # --- 3. Section 6 future work: automatic brick selection -----------------
     print("\nautomatic brick selection (Section 6 future work):")
     for words, bits in [(128, 8), (128, 32), (256, 16), (512, 8)]:
-        fast = optimize_brick_selection(
-            tech, words, bits, delay_weight=4.0, energy_weight=0.5,
+        fast = session.optimize_brick_selection(
+            words, bits, delay_weight=4.0, energy_weight=0.5,
             area_weight=0.25)
-        frugal = optimize_brick_selection(
-            tech, words, bits, delay_weight=0.5, energy_weight=3.0,
+        frugal = session.optimize_brick_selection(
+            words, bits, delay_weight=0.5, energy_weight=3.0,
             area_weight=1.0)
         print(f"  {words}x{bits}b: speed-first -> "
               f"{fast.point.brick_words}-word bricks, "
@@ -82,8 +81,7 @@ def main() -> None:
 
     # --- 4. finer-resolution sweep (non-multiple-of-8 geometries) ------------
     start = time.perf_counter()
-    fine = sweep_partitions(
-        tech,
+    fine = session.sweep_partitions(
         total_words_options=(96,),
         bits_options=(6, 10, 12, 24),
         brick_words_options=(8, 12, 16, 24, 32, 48),

@@ -18,19 +18,22 @@ import random
 from repro.bricks import (
     compile_brick,
     estimate_brick,
-    generate_brick_library,
     generate_layout,
     sram_brick,
 )
 from repro.cells import make_stdcell_library
 from repro.rtl import emit_module, fig3_sram
-from repro.synth import flow_report, run_flow
+from repro.session import Session
+from repro.synth import flow_report
 from repro.tech import cmos65
 from repro.units import format_si
 
 
 def main() -> None:
-    tech = cmos65()
+    # One Session carries the technology, the characterization cache and
+    # the master seed through every step below.
+    session = Session(cmos65())
+    tech = session.tech
     print(f"technology: {tech.name} (Vdd = {tech.vdd} V, "
           f"FO4 = {format_si(tech.fo4_delay(), 's')})")
 
@@ -47,7 +50,7 @@ def main() -> None:
           f"(array efficiency {layout.array_efficiency:.0%})")
 
     # --- 2. dynamic brick library ------------------------------------------
-    bricks, elapsed = generate_brick_library([(spec, 2)], tech)
+    bricks, elapsed = session.generate_brick_library([(spec, 2)])
     print(f"\nbrick library generated in {elapsed * 1e3:.1f} ms "
           f"(the paper generates nine in under two seconds)")
 
@@ -71,7 +74,7 @@ def main() -> None:
             sim.set_input("we", 1)
             sim.clock()
 
-    result = run_flow(module, library, tech, stimulus=stimulus)
+    result = session.run_flow(module, library, stimulus=stimulus)
 
     # --- 5. reports -------------------------------------------------------------
     print()

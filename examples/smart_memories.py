@@ -68,7 +68,8 @@ def interpolation_demo() -> None:
     print("2. LiM interpolation memory [13]: seed table + on-the-fly "
           "bilinear")
     print("=" * 64)
-    func = lambda x, y: 2.0 + math.sin(x) * math.cos(y)
+    def func(x, y):
+        return 2.0 + math.sin(x) * math.cos(y)
     dense_points = 129 * 129
     seeds = build_seed_table(func, 17, 17, stride=0.2)
     memory = InterpolationMemory(seeds, frac_bits=12)

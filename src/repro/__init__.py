@@ -38,6 +38,11 @@ The package implements the paper's full stack in pure Python:
     Content-addressed characterization caching and parallel fan-out —
     the machinery behind the paper's "within 2 seconds" usability claim
     at scale.
+``repro.session``
+    The run context (:class:`~repro.session.Session`): technology,
+    characterization cache, executor width, master seed and the stage
+    event sink, constructed once per entry point and passed down
+    through every layer.
 
 Quick start::
 
@@ -57,6 +62,7 @@ from . import (
     liberty,
     perf,
     rtl,
+    session,
     silicon,
     smartmem,
     spgemm,
@@ -64,11 +70,13 @@ from . import (
     tech,
 )
 from .errors import ReproError
+from .session import RecordingSink, Session, StageEvent
 
 __version__ = "1.0.0"
 
 __all__ = [
     "bricks", "cells", "circuit", "explore", "liberty", "perf", "rtl",
-    "silicon", "smartmem", "spgemm", "synth", "tech", "ReproError",
+    "session", "silicon", "smartmem", "spgemm", "synth", "tech",
+    "ReproError", "RecordingSink", "Session", "StageEvent",
     "__version__",
 ]

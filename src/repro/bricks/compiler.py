@@ -13,7 +13,7 @@ generation) consumes this object.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from ..cells.bitcells import Bitcell, make_bitcell
@@ -22,7 +22,6 @@ from ..cells.stdcells import unit_input_cap
 from ..circuit.logical_effort import buffer_chain
 from ..errors import BrickError
 from ..tech.technology import Technology
-from ..tech.wire import WireLayer
 from .spec import BrickSpec
 
 #: Default output load assumed on the ARBL when sizing the pull-down: the

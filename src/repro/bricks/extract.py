@@ -16,9 +16,8 @@ Euler solver integrates in seconds.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ..cells.stdcells import unit_input_cap
 from ..circuit.netlist import GND, SpiceCircuit

@@ -16,7 +16,7 @@ bricks.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -35,7 +35,6 @@ from ..liberty.models import (
 from ..tech.technology import Technology
 from .compiler import CompiledBrick
 from .estimator import estimate_brick
-from .layout import generate_layout
 from .spec import BrickSpec
 
 
@@ -145,30 +144,36 @@ def brick_cell_model(compiled: CompiledBrick, tech: Technology,
 
 def generate_brick_library(
         requests: Sequence[Tuple[BrickSpec, int]],
-        tech: Technology,
+        tech: Optional[Technology] = None,
         name: str = "bricks",
-        jobs: int = 1,
-        cache=None) -> Tuple[LibraryModel, float]:
+        jobs: Optional[int] = None,
+        cache=None,
+        session=None) -> Tuple[LibraryModel, float]:
     """Compile and characterize a batch of (spec, stack) requests.
 
     Returns ``(library, wall_clock_seconds)`` — the elapsed time backs the
     paper's "compiling the netlists and generating the library estimations
     were finalized within 2 seconds" claim (Fig 4c).
 
-    Characterization routes through :mod:`repro.perf`: repeated requests
-    (and requests already characterized earlier in the process, or in a
-    previous run when a disk cache is configured) are computed exactly
-    once, and cold points fan out over ``jobs`` worker processes with
-    results identical to the serial order.
+    Characterization routes through :mod:`repro.perf` under the resolved
+    :class:`~repro.session.Session`: repeated requests (and requests
+    already characterized earlier in the process, or in a previous run
+    when a disk cache is configured) are computed exactly once, and cold
+    points fan out over the session's ``jobs`` worker processes with
+    results identical to the serial order.  The ``tech``/``jobs``/
+    ``cache`` keywords are the deprecated pre-session shims.
     """
     if not requests:
         raise LibraryError("empty brick library request")
     from ..perf.characterize import characterize_cells
     from ..perf.timer import Stopwatch
+    from ..session import Session
+    session = Session.ensure(session, tech=tech, jobs=jobs, cache=cache)
     watch = Stopwatch()
-    library = LibraryModel(name=f"{name}_{tech.name}",
-                           tech_name=tech.name)
-    for cell in characterize_cells(requests, tech, jobs=jobs,
-                                   cache=cache):
+    library = LibraryModel(name=f"{name}_{session.tech.name}",
+                           tech_name=session.tech.name)
+    for cell in characterize_cells(requests, session.tech,
+                                   jobs=session.jobs,
+                                   cache=session.cache):
         library.add(cell)
     return library, watch.elapsed()

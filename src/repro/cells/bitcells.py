@@ -18,7 +18,7 @@ area is 83% bigger than SRAM brick area".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 from ..errors import BrickError
 from ..tech.technology import Technology

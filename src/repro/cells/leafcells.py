@@ -19,7 +19,7 @@ the brick compiler's logical-effort pass.  Every leaf cell knows how to
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Tuple
 
 from ..circuit.netlist import SpiceCircuit
 from ..errors import BrickError

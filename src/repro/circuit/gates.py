@@ -17,7 +17,7 @@ strength ratio of 2.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Sequence, Tuple
 
 from ..errors import NetlistError

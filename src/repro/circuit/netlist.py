@@ -10,7 +10,7 @@ that netlist bugs fail at construction, not mid-simulation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set, Union
+from typing import Callable, Dict, List, Set, Union
 
 from ..errors import NetlistError
 from ..tech.transistor import NMOS, PMOS

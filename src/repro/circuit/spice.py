@@ -26,7 +26,7 @@ transient cheap.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Optional
 
 import numpy as np
 from scipy.linalg import lu_factor, lu_solve

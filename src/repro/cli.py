@@ -5,21 +5,27 @@ Exposes the paper's workflow as subcommands::
     python -m repro brick --type 8T --words 16 --bits 10 --stack 4
     python -m repro library --out bricks.lib 16x10x2 32x12x1
     python -m repro sram --words 128 --bits 10 --brick-words 16 \\
-                         --partitions 4 --verilog out.v
+                         --partitions 4 --seed 7 --verilog out.v
     python -m repro sweep --total-words 128 --bits 8 16 32
     python -m repro spgemm --scale small
     python -m repro testchip --configs A B E --chips 3
 
 Every subcommand prints the same reports the examples and benchmarks
 produce, so the flow is scriptable without writing Python.
+
+Each invocation builds one :class:`~repro.session.Session` from the
+global flags (``--tech``, ``--jobs``, ``--seed`` where applicable) and
+the process-wide cache configured by ``--cache-dir``/``--no-cache``;
+the session is passed down through every layer instead of loose
+keyword arguments.  ``--trace-stages`` attaches a printing event sink
+so each pipeline stage reports its wall clock on stderr.
 """
 
 from __future__ import annotations
 
 import argparse
-import random
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from .bricks import (
     BrickSpec,
@@ -36,13 +42,25 @@ from .explore import pareto_front, sweep_partitions
 from .liberty import write_liberty
 from .perf import configure_default_cache, default_cache
 from .rtl import build_sram, emit_hierarchy
-from .synth import flow_report, prepare_libraries, run_flow
+from .session import DEFAULT_SEED, PrintingSink, Session
+from .synth import flow_report, prepare_libraries
 from .tech import by_name
 from .units import MHZ, PJ, PS, format_si
 
 
-def _tech(args):
-    return by_name(args.tech)
+def _session(args) -> Session:
+    """The run context for one CLI invocation.
+
+    An injected session (``main(argv, session=...)``) wins — that is the
+    embedding/test hook; otherwise the session is assembled from the
+    parsed flags.  The cache is the process default, which ``main`` has
+    already configured from ``--cache-dir``/``--no-cache``.
+    """
+    if getattr(args, "_session", None) is not None:
+        return args._session
+    sink = PrintingSink() if args.trace_stages else None
+    return Session(by_name(args.tech), jobs=args.jobs,
+                   seed=getattr(args, "seed", DEFAULT_SEED), sink=sink)
 
 
 def _parse_brick_token(token: str) -> tuple:
@@ -57,7 +75,8 @@ def _parse_brick_token(token: str) -> tuple:
 
 
 def cmd_brick(args) -> int:
-    tech = _tech(args)
+    session = _session(args)
+    tech = session.tech
     spec = BrickSpec(args.type, args.words, args.bits)
     compiled = compile_brick(spec, tech, target_stack=args.stack)
     est = estimate_brick(compiled, tech, stack=args.stack)
@@ -82,33 +101,34 @@ def cmd_brick(args) -> int:
 
 
 def cmd_library(args) -> int:
-    tech = _tech(args)
+    session = _session(args)
     requests = []
     for token in args.bricks:
         words, bits, stack = _parse_brick_token(token)
         requests.append((BrickSpec(args.type, words, bits), stack))
-    library, elapsed = generate_brick_library(requests, tech,
-                                              jobs=args.jobs)
+    library, elapsed = generate_brick_library(requests,
+                                              session=session)
     print(f"generated {len(library)} brick cells in "
           f"{elapsed * 1e3:.1f} ms")
     if args.out:
         if args.include_stdcells:
-            library = make_stdcell_library(tech).merged_with(library)
+            library = make_stdcell_library(
+                session.tech).merged_with(library)
         write_liberty(library, args.out)
         print(f"wrote {args.out}")
     return 0
 
 
 def cmd_sram(args) -> int:
-    tech = _tech(args)
+    session = _session(args)
     brick = BrickSpec(args.type, args.brick_words, args.bits)
     if args.partitions > 1:
         config = partitioned(brick, args.words, args.partitions)
     else:
         config = single_partition(brick, args.words)
     print(f"building {config.describe()}")
-    library = prepare_libraries([(config.brick, config.stack)], tech,
-                                jobs=args.jobs)
+    library = prepare_libraries([(config.brick, config.stack)],
+                                session=session)
     module = build_sram(config)
     if args.verilog:
         with open(args.verilog, "w", encoding="utf-8") as handle:
@@ -116,7 +136,7 @@ def cmd_sram(args) -> int:
         print(f"wrote {args.verilog}")
 
     def stimulus(sim):
-        rng = random.Random(0)
+        rng = session.rng("sram-stimulus")
         for _ in range(args.cycles):
             sim.set_input("raddr", rng.randrange(config.words))
             sim.set_input("waddr", rng.randrange(config.words))
@@ -124,21 +144,21 @@ def cmd_sram(args) -> int:
             sim.set_input("we", 1)
             sim.clock()
 
-    result = run_flow(module, library, tech, stimulus=stimulus,
-                      anneal_moves=args.anneal)
+    result = session.run_flow(module, library, stimulus=stimulus,
+                              anneal_moves=args.anneal,
+                              utilization=args.utilization)
     print(flow_report(result))
     return 0
 
 
 def cmd_sweep(args) -> int:
-    tech = _tech(args)
+    session = _session(args)
     result = sweep_partitions(
-        tech,
         total_words_options=(args.total_words,),
         bits_options=tuple(args.bits),
         brick_words_options=tuple(args.brick_words),
         memory_type=args.type,
-        jobs=args.jobs)
+        session=session)
     print(f"{len(result.points)} design points in "
           f"{result.wall_clock_s * 1e3:.0f} ms")
     header = (f"{'memory':>12s} {'brick':>12s} {'delay':>9s} "
@@ -160,6 +180,9 @@ def cmd_sweep(args) -> int:
 
 
 def cmd_spgemm(args) -> int:
+    # The SpGEMM chips are fixed cycle-level silicon models: the session
+    # contributes nothing (no technology, no characterization, no flow
+    # seed), so this subcommand is the one that does not consume it.
     from .spgemm import (
         CAMSpGEMMAccelerator,
         HeapSpGEMMAccelerator,
@@ -184,13 +207,13 @@ def cmd_spgemm(args) -> int:
 
 def cmd_testchip(args) -> int:
     from .silicon import measure_chips, simulate_corners
-    tech = _tech(args)
-    measured = measure_chips(args.configs, tech, n_chips=args.chips,
+    session = _session(args)
+    measured = measure_chips(args.configs, n_chips=args.chips,
                              anneal_moves=args.anneal,
-                             jobs=args.jobs)
-    simulated = simulate_corners(args.configs, tech,
+                             session=session)
+    simulated = simulate_corners(args.configs,
                                  anneal_moves=args.anneal,
-                                 jobs=args.jobs)
+                                 session=session)
     header = (f"{'cfg':>4s} {'measured':>10s} {'spread':>16s} "
               f"{'sim w/n/b [MHz]':>20s} {'energy':>9s}")
     print(header)
@@ -216,6 +239,17 @@ def _jobs_count(text: str) -> int:
     return value
 
 
+def _utilization(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"must be a number, "
+                                         f"got {text!r}") from None
+    if not 0.0 < value <= 1.0:
+        raise argparse.ArgumentTypeError("must be in (0, 1]")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -232,6 +266,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="disable the characterization cache")
     parser.add_argument("--cache-stats", action="store_true",
                         help="print cache hit/miss statistics on exit")
+    parser.add_argument("--trace-stages", action="store_true",
+                        help="print per-stage wall clock of every "
+                             "pipeline run to stderr")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("brick", help="compile and estimate one brick")
@@ -259,6 +296,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--type", default="8T")
     p.add_argument("--cycles", type=int, default=64)
     p.add_argument("--anneal", type=int, default=2000)
+    p.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                   help="session master seed: placement annealing and "
+                        f"stimulus (default: {DEFAULT_SEED})")
+    p.add_argument("--utilization", type=_utilization, default=0.65,
+                   help="std-cell core utilization target in (0, 1] "
+                        "(default: 0.65)")
     p.add_argument("--verilog", help="write structural Verilog here")
     p.set_defaults(func=cmd_sram)
 
@@ -288,9 +331,17 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
+def main(argv: Optional[Sequence[str]] = None,
+         session: Optional[Session] = None) -> int:
+    """CLI entry point.
+
+    ``session`` injects a pre-built run context (its tech/jobs/seed/sink
+    override the corresponding flags) — the hook embedders and tests use
+    to observe stage events from a CLI invocation.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
+    args._session = session
     configure_default_cache(cache_dir=args.cache_dir,
                             enabled=not args.no_cache)
     try:

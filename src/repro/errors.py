@@ -12,6 +12,10 @@ class ReproError(Exception):
     """Base class for every error raised by this package."""
 
 
+class SessionError(ReproError):
+    """Invalid session construction or stage-pipeline definition."""
+
+
 class TechnologyError(ReproError):
     """Invalid or inconsistent technology parameters."""
 

@@ -14,14 +14,14 @@ selection instead of taking it as an input.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..bricks.estimator import BrickPerformance
-from ..bricks.spec import BrickSpec, sram_brick
+from ..bricks.spec import BrickSpec
 from ..errors import ExplorationError
 from ..perf.characterize import estimate_points
 from ..perf.timer import Stopwatch
+from ..session import Session
 from ..tech.technology import Technology
 
 
@@ -83,24 +83,28 @@ class SweepResult:
         return matches[0]
 
 
-def sweep_partitions(tech: Technology,
+def sweep_partitions(tech: Optional[Technology] = None,
                      total_words_options: Sequence[int] = (128,),
                      bits_options: Sequence[int] = (8, 16, 32),
                      brick_words_options: Sequence[int] = (16, 32, 64),
                      memory_type: str = "8T",
-                     jobs: int = 1,
-                     cache=None) -> SweepResult:
+                     jobs: Optional[int] = None,
+                     cache=None,
+                     session: Optional[Session] = None) -> SweepResult:
     """The Fig. 4c sweep: single-partition memories of each size built
     from each brick flavour.
 
     The default arguments are exactly the paper's: 128x{8,16,32} bit
     SRAMs built from 16/32/64-word bricks (9 brick compilations).
 
-    Characterization routes through :mod:`repro.perf`: repeated points
-    hit the content-addressed cache, cold points fan out over ``jobs``
-    processes, and the returned point list is ordered identically
-    regardless of ``jobs``.
+    Characterization routes through :mod:`repro.perf` under the
+    resolved :class:`~repro.session.Session`: repeated points hit the
+    content-addressed cache, cold points fan out over the session's
+    ``jobs`` processes, and the returned point list is ordered
+    identically regardless of ``jobs``.  The ``tech``/``jobs``/
+    ``cache`` keywords are the deprecated pre-session shims.
     """
+    session = Session.ensure(session, tech=tech, jobs=jobs, cache=cache)
     watch = Stopwatch()
     grid: List[Tuple[int, int, int, int]] = []
     for bits in bits_options:
@@ -114,7 +118,8 @@ def sweep_partitions(tech: Technology,
         raise ExplorationError("sweep produced no points")
     tasks = [(BrickSpec(memory_type, brick_words, bits), stack)
              for bits, brick_words, _, stack in grid]
-    estimates = estimate_points(tasks, tech, jobs=jobs, cache=cache)
+    estimates = estimate_points(tasks, session.tech, jobs=session.jobs,
+                                cache=session.cache)
     points = [
         SweepPoint(
             total_words=total_words,
@@ -142,14 +147,16 @@ class BrickChoice:
 
 
 def optimize_brick_selection(
-        tech: Technology, total_words: int, bits: int,
+        tech: Optional[Technology] = None,
+        total_words: int = 128, bits: int = 8,
         brick_words_options: Sequence[int] = (8, 16, 32, 64, 128),
         delay_weight: float = 1.0,
         energy_weight: float = 1.0,
         area_weight: float = 0.5,
         memory_type: str = "8T",
-        jobs: int = 1,
-        cache=None) -> BrickChoice:
+        jobs: Optional[int] = None,
+        cache=None,
+        session: Optional[Session] = None) -> BrickChoice:
     """Pick the brick size minimizing a weighted delay/energy/area cost.
 
     Implements the paper's Section 6 future work: "the synthesis tools
@@ -158,6 +165,7 @@ def optimize_brick_selection(
     normalized to the best candidate per axis, so weights express
     relative priorities without unit juggling.
     """
+    session = Session.ensure(session, tech=tech, jobs=jobs, cache=cache)
     viable = tuple(bw for bw in brick_words_options
                    if total_words % bw == 0 and bw <= total_words)
     if not viable:
@@ -165,8 +173,9 @@ def optimize_brick_selection(
             f"no brick size in {list(brick_words_options)} divides "
             f"{total_words}")
     result = sweep_partitions(
-        tech, (total_words,), (bits,), viable, memory_type,
-        jobs=jobs, cache=cache)
+        total_words_options=(total_words,), bits_options=(bits,),
+        brick_words_options=viable, memory_type=memory_type,
+        session=session)
     candidates: List[SweepPoint] = result.points
     best_delay = min(p.read_delay for p in candidates)
     best_energy = min(p.read_energy for p in candidates)

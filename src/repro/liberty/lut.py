@@ -49,7 +49,7 @@ class LUT2D:
                       loads: Sequence[float]) -> "LUT2D":
         """Characterize ``func(slew, load)`` on a grid."""
         values = tuple(
-            tuple(float(func(s, l)) for l in loads) for s in slews)
+            tuple(float(func(s, ld)) for ld in loads) for s in slews)
         return cls(tuple(slews), tuple(loads), values)
 
     @classmethod
@@ -59,7 +59,7 @@ class LUT2D:
         value grid (nested sequences or a 2-D numpy array)."""
         grid = tuple(tuple(float(v) for v in row) for row in values)
         return cls(tuple(float(s) for s in slews),
-                   tuple(float(l) for l in loads), grid)
+                   tuple(float(ld) for ld in loads), grid)
 
     @classmethod
     def constant(cls, value: float) -> "LUT2D":
@@ -120,12 +120,12 @@ class LUT2D:
         IEEE-double operations — which keeps STA and characterization
         sweeps free to batch lookups without changing results.
         """
-        s, l = np.broadcast_arrays(np.asarray(slews, dtype=float),
-                                   np.asarray(loads, dtype=float))
+        s, ld = np.broadcast_arrays(np.asarray(slews, dtype=float),
+                                    np.asarray(loads, dtype=float))
         v = np.asarray(self.values)
         if len(self.slews) == 1 and len(self.loads) == 1:
             return np.full(s.shape, v[0, 0])
-        j, fj = self._axis_segment_many(self.loads, l)
+        j, fj = self._axis_segment_many(self.loads, ld)
         if len(self.slews) == 1:
             return v[0, j] * (1 - fj) + v[0, j + 1] * fj
         i, fi = self._axis_segment_many(self.slews, s)
@@ -151,10 +151,10 @@ class LUT2D:
         millions of points (the DSE of Fig 4c) use the plane; sign-off
         paths use the table.
         """
-        pts = [(s, l, v)
+        pts = [(s, ld, v)
                for s, row in zip(self.slews, self.values)
-               for l, v in zip(self.loads, row)]
-        a = np.array([[1.0, s, l] for s, l, _ in pts])
+               for ld, v in zip(self.loads, row)]
+        a = np.array([[1.0, s, ld] for s, ld, _ in pts])
         b = np.array([v for _, _, v in pts])
         coef, *_ = np.linalg.lstsq(a, b, rcond=None)
         residual = np.abs(a @ coef - b)

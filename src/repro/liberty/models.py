@@ -11,7 +11,7 @@ downstream tool (mapper, placer, STA, power) handles them uniformly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional
 
 from ..errors import LibraryError
 from .lut import LUT2D

@@ -18,7 +18,7 @@ from typing import List
 
 from ..units import FF, NS, UM
 from .lut import LUT2D
-from .models import CLOCK, INPUT, OUTPUT, CellModel, LibraryModel
+from .models import CLOCK, OUTPUT, CellModel, LibraryModel
 
 _INDENT = "  "
 

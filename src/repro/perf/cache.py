@@ -23,7 +23,7 @@ import pickle
 import tempfile
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from .fingerprint import KEY_SCHEMA_VERSION

@@ -15,7 +15,7 @@ exploration sweeps (brick size, stacking, partitioning).
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from ..bricks.library import bank_cell_name
 from ..bricks.stack import BankConfig

@@ -13,12 +13,12 @@ tie cells are materialized at elaboration as pseudo-drivers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
 
 from ..errors import RTLError
 from ..liberty.models import CellModel, LibraryModel
-from .signals import Bit, Bus, Net, Signal, as_bus, int_to_bits
+from .signals import Bus, Net, Signal, as_bus, int_to_bits
 
 IN = "in"
 OUT = "out"

@@ -15,7 +15,6 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..circuit.gates import gate_type
 from ..errors import SimulationError
-from ..liberty.models import CellModel
 from .module import FlatCell, FlatNetlist
 from .signals import bits_to_int, int_to_bits
 

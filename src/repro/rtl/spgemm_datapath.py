@@ -26,7 +26,6 @@ Ports
 
 from __future__ import annotations
 
-import math
 from typing import Tuple
 
 from ..bricks.library import bank_cell_name

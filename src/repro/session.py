@@ -1,0 +1,210 @@
+"""Session-scoped flow context: the run-wide state every layer shares.
+
+Before this module existed, every layer of the system re-threaded the
+same ad-hoc keyword arguments (``tech``, ``jobs=``, ``cache=``,
+``seed=``) from the CLI down through brick characterization, the
+design-space explorer, the physical synthesis flow and the silicon
+emulation.  A :class:`Session` owns that cross-cutting state once:
+
+* the :class:`~repro.tech.technology.Technology` under synthesis,
+* the content-addressed characterization cache (``repro.perf``),
+* the parallel-executor width (``jobs``),
+* the master RNG seed every deterministic stage derives from,
+* an **event sink** receiving structured :class:`StageEvent` records
+  (one timed event per pipeline stage) for observability.
+
+Entry points construct one Session and pass it down; every layer that
+used to take ``jobs=``/``cache=``/``seed=`` keeps those keywords as
+deprecated shims resolved through :meth:`Session.ensure`, so existing
+callers keep working unchanged while new code writes::
+
+    from repro.session import Session
+    from repro.tech import cmos65
+
+    session = Session(cmos65(), jobs=4, seed=7)
+    result = session.run_flow(module, library, stimulus=stimulus)
+    sweep = session.sweep_partitions(bits_options=(8, 16))
+
+Corner/per-die studies derive children that share the cache and sink
+but swap the technology: ``session.derive(tech=worst_corner_tech)``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, TextIO
+
+from .errors import SessionError
+from .perf.cache import CharacterizationCache, resolve_cache
+from .tech.technology import Technology
+
+#: The master seed historically hardcoded in ``run_flow``'s default.
+DEFAULT_SEED = 2015
+
+
+@dataclass(frozen=True)
+class StageEvent:
+    """One completed (or failed) pipeline stage, with its wall clock."""
+
+    stage: str
+    index: int
+    wall_clock_s: float
+    ok: bool = True
+    error: Optional[str] = None
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+
+#: Anything callable with a :class:`StageEvent` can be a sink.
+EventSink = Callable[[StageEvent], None]
+
+
+class RecordingSink:
+    """Sink that accumulates events in memory (tests, notebooks)."""
+
+    def __init__(self) -> None:
+        self.events: List[StageEvent] = []
+
+    def __call__(self, event: StageEvent) -> None:
+        self.events.append(event)
+
+    @property
+    def stages(self) -> List[str]:
+        return [event.stage for event in self.events]
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+class PrintingSink:
+    """Sink that renders one line per stage (the CLI's --trace-stages)."""
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self.stream = stream
+
+    def __call__(self, event: StageEvent) -> None:
+        import sys
+        stream = self.stream if self.stream is not None else sys.stderr
+        status = "ok" if event.ok else f"FAILED: {event.error}"
+        extra = "".join(f" {k}={v}" for k, v in event.detail.items())
+        print(f"[stage {event.index}] {event.stage:<12s} "
+              f"{event.wall_clock_s * 1e3:9.2f} ms  {status}{extra}",
+              file=stream)
+
+
+@dataclass
+class Session:
+    """Run context owning technology, cache, executor, seed and sink.
+
+    ``cache=None`` resolves to the process-wide default cache (which the
+    CLI configures from ``--cache-dir``/``--no-cache``), so a Session is
+    cheap to build and always has a working cache.  ``jobs`` follows the
+    ``repro.perf`` convention: 1 = serial, 0 = all cores.
+    """
+
+    tech: Technology
+    jobs: int = 1
+    cache: Optional[CharacterizationCache] = None
+    seed: int = DEFAULT_SEED
+    sink: Optional[EventSink] = None
+
+    def __post_init__(self) -> None:
+        self.cache = resolve_cache(self.cache)
+
+    # --- events -----------------------------------------------------------
+
+    def emit(self, event: StageEvent) -> None:
+        """Deliver one event to the sink (no-op without a sink)."""
+        if self.sink is not None:
+            self.sink(event)
+
+    # --- determinism ------------------------------------------------------
+
+    def rng(self, salt: str = "") -> random.Random:
+        """A fresh RNG derived from the master seed and a salt.
+
+        Distinct salts give independent, reproducible streams, so two
+        stages can both draw randomness without coupling their results.
+        """
+        return random.Random(f"{self.seed}:{salt}")
+
+    # --- construction helpers --------------------------------------------
+
+    def derive(self, **overrides: Any) -> "Session":
+        """A child session sharing this one's state except ``overrides``.
+
+        The cache and sink are shared (not copied): a per-die or
+        per-corner child reuses the parent's characterization results
+        and reports into the same event stream.
+        """
+        fields_ = {"tech": self.tech, "jobs": self.jobs,
+                   "cache": self.cache, "seed": self.seed,
+                   "sink": self.sink}
+        unknown = set(overrides) - set(fields_)
+        if unknown:
+            raise SessionError(
+                f"unknown session field(s) {sorted(unknown)}; "
+                f"choose from {sorted(fields_)}")
+        fields_.update(overrides)
+        return Session(**fields_)
+
+    @classmethod
+    def ensure(cls, session: Optional["Session"] = None, *,
+               tech: Optional[Technology] = None,
+               jobs: Optional[int] = None,
+               cache: Optional[CharacterizationCache] = None,
+               seed: Optional[int] = None,
+               sink: Optional[EventSink] = None) -> "Session":
+        """Resolve the deprecated kwarg shims into a Session.
+
+        When ``session`` is given it wins, with any explicitly passed
+        keyword applied as an override; otherwise a throwaway session is
+        built from the legacy keywords (``jobs=1``, ``seed=2015``
+        defaults, exactly the pre-session behaviour).
+        """
+        if session is not None:
+            overrides = {key: value for key, value in
+                         (("tech", tech), ("jobs", jobs),
+                          ("cache", cache), ("seed", seed),
+                          ("sink", sink)) if value is not None}
+            return session.derive(**overrides) if overrides else session
+        if tech is None:
+            raise SessionError(
+                "a Technology (or an explicit Session) is required")
+        return cls(tech=tech,
+                   jobs=1 if jobs is None else jobs,
+                   cache=cache,
+                   seed=DEFAULT_SEED if seed is None else seed,
+                   sink=sink)
+
+    # --- entry points -----------------------------------------------------
+    # Convenience delegates so callers can stay entirely in the session
+    # API.  Imports are deferred: the flow layers import this module.
+
+    def run_flow(self, top, library, **kwargs):
+        """:func:`repro.synth.flow.run_flow` under this session."""
+        from .synth.flow import run_flow
+        return run_flow(top, library, session=self, **kwargs)
+
+    def prepare_libraries(self, brick_requests):
+        """:func:`repro.synth.flow.prepare_libraries` under this session."""
+        from .synth.flow import prepare_libraries
+        return prepare_libraries(brick_requests, session=self)
+
+    def generate_brick_library(self, requests, name: str = "bricks"):
+        """:func:`repro.bricks.library.generate_brick_library` here."""
+        from .bricks.library import generate_brick_library
+        return generate_brick_library(requests, name=name, session=self)
+
+    def sweep_partitions(self, **kwargs):
+        """:func:`repro.explore.sweep.sweep_partitions` under this session."""
+        from .explore.sweep import sweep_partitions
+        return sweep_partitions(session=self, **kwargs)
+
+    def optimize_brick_selection(self, total_words: int, bits: int,
+                                 **kwargs):
+        """:func:`repro.explore.sweep.optimize_brick_selection` here."""
+        from .explore.sweep import optimize_brick_selection
+        return optimize_brick_selection(total_words=total_words,
+                                        bits=bits, session=self,
+                                        **kwargs)

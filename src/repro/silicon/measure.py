@@ -16,14 +16,14 @@ configurations; the benchmark asserts exactly that.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from ..errors import SiliconError
-from ..tech.corners import BEST, NOMINAL, WORST
+from ..session import Session
+from ..tech.corners import BEST, WORST
 from ..tech.technology import Technology
-from .testchip import CONFIG_NAMES, run_config_flow
-from .variation import ChipSample, VariationModel
+from .testchip import run_config_flow
+from .variation import VariationModel
 
 
 @dataclass(frozen=True)
@@ -72,22 +72,29 @@ class CornerSimulation:
     energy_nominal: float
 
 
-def measure_chips(configs: Sequence[str], tech: Technology,
+def measure_chips(configs: Sequence[str],
+                  tech: Optional[Technology] = None,
                   n_chips: int = 8,
                   variation: Optional[VariationModel] = None,
                   seed: int = 65,
                   anneal_moves: int = 2000,
-                  jobs: int = 1,
-                  cache=None) -> Dict[str, ConfigMeasurements]:
+                  jobs: Optional[int] = None,
+                  cache=None,
+                  session: Optional[Session] = None
+                  ) -> Dict[str, ConfigMeasurements]:
     """Emulate multi-chip measurement of the test-chip configurations.
 
     Every die re-runs the full flow (library regeneration included) at
     its perturbed technology — dies are physical objects, and their
-    periphery, bricks and wires all shift together.  Each die's tech
-    fingerprints differently, so the characterization cache reuses
-    nothing *across* dies (correct: their bricks really differ) while
-    configurations sharing a brick point *within* one die reuse it.
+    periphery, bricks and wires all shift together.  Each die's flow
+    runs under a per-die child of the resolved session (same cache and
+    sink, the die's technology): the tech fingerprints differently per
+    die, so the characterization cache reuses nothing *across* dies
+    (correct: their bricks really differ) while configurations sharing
+    a brick point *within* one die reuse it.  ``seed`` is the variation
+    sampling seed, distinct from the session's flow master seed.
     """
+    session = Session.ensure(session, tech=tech, jobs=jobs, cache=cache)
     if variation is None:
         variation = VariationModel()
     samples = variation.sample(n_chips, seed=seed)
@@ -95,10 +102,10 @@ def measure_chips(configs: Sequence[str], tech: Technology,
     for config in configs:
         chips: List[ChipMeasurement] = []
         for sample in samples:
-            die_tech = sample.apply(tech)
-            flow = run_config_flow(config, die_tech,
+            die_session = session.derive(tech=sample.apply(session.tech))
+            flow = run_config_flow(config,
                                    anneal_moves=anneal_moves,
-                                   jobs=jobs, cache=cache)
+                                   session=die_session)
             fmax = flow.fmax * sample.measurement_noise
             chips.append(ChipMeasurement(
                 chip_id=sample.chip_id,
@@ -110,24 +117,32 @@ def measure_chips(configs: Sequence[str], tech: Technology,
     return results
 
 
-def simulate_corners(configs: Sequence[str], tech: Technology,
+def simulate_corners(configs: Sequence[str],
+                     tech: Optional[Technology] = None,
                      anneal_moves: int = 2000,
-                     jobs: int = 1,
-                     cache=None) -> Dict[str, CornerSimulation]:
-    """Library-based corner simulations (the Fig. 4b overlay)."""
+                     jobs: Optional[int] = None,
+                     cache=None,
+                     session: Optional[Session] = None
+                     ) -> Dict[str, CornerSimulation]:
+    """Library-based corner simulations (the Fig. 4b overlay).
+
+    Each corner runs under a child session carrying the derated
+    technology; the cache and sink are shared across corners.
+    """
+    session = Session.ensure(session, tech=tech, jobs=jobs, cache=cache)
     results: Dict[str, CornerSimulation] = {}
     for config in configs:
-        best = run_config_flow(config, BEST.apply(tech),
-                               with_power=False,
+        best = run_config_flow(config, with_power=False,
                                anneal_moves=anneal_moves,
-                               jobs=jobs, cache=cache)
-        nominal = run_config_flow(config, tech,
+                               session=session.derive(
+                                   tech=BEST.apply(session.tech)))
+        nominal = run_config_flow(config,
                                   anneal_moves=anneal_moves,
-                                  jobs=jobs, cache=cache)
-        worst = run_config_flow(config, WORST.apply(tech),
-                                with_power=False,
+                                  session=session)
+        worst = run_config_flow(config, with_power=False,
                                 anneal_moves=anneal_moves,
-                                jobs=jobs, cache=cache)
+                                session=session.derive(
+                                    tech=WORST.apply(session.tech)))
         results[config] = CornerSimulation(
             config=config,
             fmax_best=best.fmax,

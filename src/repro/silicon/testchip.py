@@ -10,8 +10,7 @@ through the whole physical synthesis flow.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 from ..bricks.spec import sram_brick
 from ..bricks.stack import BankConfig, partitioned, single_partition
@@ -19,6 +18,7 @@ from ..errors import SiliconError
 from ..liberty.models import LibraryModel
 from ..rtl.memory import build_sram
 from ..rtl.module import Module
+from ..session import Session
 from ..synth.flow import FlowResult, prepare_libraries, run_flow
 from ..tech.technology import Technology
 
@@ -44,18 +44,22 @@ def config_bank(name: str) -> BankConfig:
         f"{CONFIG_NAMES}")
 
 
-def build_config(name: str, tech: Technology, jobs: int = 1,
-                 cache=None) -> Tuple[Module, LibraryModel, BankConfig]:
+def build_config(name: str, tech: Optional[Technology] = None,
+                 jobs: Optional[int] = None, cache=None,
+                 session: Optional[Session] = None
+                 ) -> Tuple[Module, LibraryModel, BankConfig]:
     """RTL plus merged (std cell + brick) libraries for a config at a
     given technology (nominal, corner-derated, or a chip sample).
 
-    Library generation routes through :mod:`repro.perf`, so configs
+    Library generation routes through the session's cache, so configs
     sharing a brick point (B and E both stack the 16x10 brick 2x) and
-    repeated builds at the same technology characterize it once.
+    repeated builds at the same technology characterize it once.  The
+    ``tech``/``jobs``/``cache`` keywords are the pre-session shims.
     """
+    session = Session.ensure(session, tech=tech, jobs=jobs, cache=cache)
     bank = config_bank(name)
-    library = prepare_libraries([(bank.brick, bank.stack)], tech,
-                                jobs=jobs, cache=cache)
+    library = prepare_libraries([(bank.brick, bank.stack)],
+                                session=session)
     return build_sram(bank), library, bank
 
 
@@ -75,15 +79,17 @@ def read_stimulus(bank: BankConfig, n_cycles: int = 64,
     return stimulate
 
 
-def run_config_flow(name: str, tech: Technology,
+def run_config_flow(name: str, tech: Optional[Technology] = None,
                     with_power: bool = True,
                     anneal_moves: int = 4000,
-                    seed: int = 2015,
-                    jobs: int = 1,
-                    cache=None) -> FlowResult:
+                    seed: Optional[int] = None,
+                    jobs: Optional[int] = None,
+                    cache=None,
+                    session: Optional[Session] = None) -> FlowResult:
     """Push one test-chip configuration through the full flow."""
-    top, library, bank = build_config(name, tech, jobs=jobs,
-                                      cache=cache)
+    session = Session.ensure(session, tech=tech, jobs=jobs,
+                             cache=cache, seed=seed)
+    top, library, bank = build_config(name, session=session)
     stimulus = read_stimulus(bank) if with_power else None
-    return run_flow(top, library, tech, stimulus=stimulus,
-                    anneal_moves=anneal_moves, seed=seed)
+    return run_flow(top, library, stimulus=stimulus,
+                    anneal_moves=anneal_moves, session=session)

@@ -17,7 +17,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Iterator, List
+from typing import List
 
 from ..errors import SiliconError
 from ..tech.technology import Technology

@@ -22,11 +22,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, Tuple
+from typing import Callable, Tuple
 
 import numpy as np
 
-from ..errors import ReproError
 from .parallel_access import ParallelAccessMemory, SmartMemError, \
     WindowGeometry
 

@@ -9,7 +9,7 @@ hit rates.  The result matrix C is "overwritten as it is computed".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Tuple
+from typing import List
 
 from ..errors import AcceleratorError
 from .dram import DRAMChannel

@@ -20,14 +20,13 @@ benchmarks comes from a run that computed the right answer.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from ..errors import AcceleratorError
-from .blocking import DEFAULT_BLOCK_COLS, column_blocks, stream_block, \
-    writeback_column
+from .blocking import column_blocks, stream_block, writeback_column
 from .cam_arch import CAMGeometry, HorizontalCAM, VerticalCAM
 from .dram import DRAMChannel
 from .energy import ChipEnergyModel, lim_energy_model

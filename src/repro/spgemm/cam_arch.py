@@ -16,7 +16,7 @@ index CAM + 16x10 bit value SRAM, one 32-entry vertical CAM.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import AcceleratorError

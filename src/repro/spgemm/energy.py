@@ -13,7 +13,7 @@ exactly how the paper back-annotated its own measurements.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..bricks.compiler import compile_brick

@@ -25,7 +25,6 @@ and 250x on dense ones (Fig. 6) despite its 35 % slower clock.
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np

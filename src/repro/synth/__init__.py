@@ -2,10 +2,18 @@
 
 from .clock import ClockTree, build_clock_tree
 from .floorplan import Floorplan, Placement, build_floorplan
-from .flow import FlowResult, prepare_libraries, run_flow
+from .flow import (
+    FLOW_PIPELINE,
+    FLOW_STAGE_NAMES,
+    FlowResult,
+    FlowState,
+    prepare_libraries,
+    run_flow,
+)
 from .mapper import resize_for_load, synthesize_truth_table
+from .pipeline import FlowStage, Pipeline
 from .place import PlacedDesign, place
-from .power import PowerReport, analyze_power
+from .power import PowerReport, analyze_power, fold_clock_tree_energy
 from .report import flow_report, power_report, timing_report
 from .route import NetParasitics, Parasitics, route
 from .timing import PathPoint, TimingAnalyzer, TimingReport, analyze_timing
@@ -13,10 +21,12 @@ from .timing import PathPoint, TimingAnalyzer, TimingReport, analyze_timing
 __all__ = [
     "ClockTree", "build_clock_tree",
     "Floorplan", "Placement", "build_floorplan",
-    "FlowResult", "prepare_libraries", "run_flow",
+    "FLOW_PIPELINE", "FLOW_STAGE_NAMES", "FlowResult", "FlowState",
+    "prepare_libraries", "run_flow",
     "resize_for_load", "synthesize_truth_table",
+    "FlowStage", "Pipeline",
     "PlacedDesign", "place",
-    "PowerReport", "analyze_power",
+    "PowerReport", "analyze_power", "fold_clock_tree_energy",
     "flow_report", "power_report", "timing_report",
     "NetParasitics", "Parasitics", "route",
     "PathPoint", "TimingAnalyzer", "TimingReport", "analyze_timing",

@@ -11,8 +11,8 @@ small and many, which is the whole point.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from dataclasses import dataclass
+from typing import Dict, Tuple
 
 from ..errors import SynthesisError
 from ..rtl.module import FlatNetlist

@@ -1,18 +1,25 @@
 """The end-to-end LiM physical synthesis flow (Fig. 2).
 
 ``run_flow`` strings the whole methodology together the way the paper's
-Fig. 2 draws it:
+Fig. 2 draws it, as a staged :class:`~repro.synth.pipeline.Pipeline` of
+named :class:`~repro.synth.pipeline.FlowStage` objects::
 
-    RTL (Module) + std-cell library + dynamically generated brick library
-      -> elaborate (gate-level netlist with brick macros)
-      -> floorplan (bricks as macros)
-      -> place (std cells around the bricks)
-      -> route (parasitics, the .spef role)
-      -> drive resizing against routed loads
-      -> STA (Fmax) and, given stimulus, activity-based power.
+    elaborate   RTL (Module) + std-cell + brick libraries -> netlist
+    floorplan   bricks as macros, std-cell core sizing
+    place       simulated-annealing placement (seeded by the session)
+    route       parasitics, the .spef role
+    resize_eco  drive resizing against routed loads + ECO re-place
+    sta         static timing (Fmax)
+    clock_tree  estimated clock distribution over sequential sinks
+    power       activity-based power, clock-network energy folded in
 
-The returned :class:`FlowResult` carries every intermediate so benchmarks
-and the design-space explorer can report area/timing/power consistently.
+Each stage runs under a :class:`~repro.session.Session` (technology,
+cache, executor, master seed, event sink) and emits one timed
+:class:`~repro.session.StageEvent`, so every flow run is observable
+per-stage.  The returned :class:`FlowResult` carries every intermediate
+so benchmarks and the design-space explorer can report area/timing/
+power consistently; its summaries are identical whether the flow is
+invoked through the legacy keyword signature or through a Session.
 """
 
 from __future__ import annotations
@@ -23,13 +30,15 @@ from typing import Callable, Dict, Optional
 from ..errors import SynthesisError
 from ..liberty.models import LibraryModel
 from ..rtl.module import FlatNetlist, Module, elaborate
-from ..rtl.simulate import Activity, LogicSimulator
+from ..rtl.simulate import LogicSimulator
+from ..session import Session
 from ..tech.technology import Technology
 from .clock import ClockTree, build_clock_tree
 from .floorplan import Floorplan, build_floorplan
 from .mapper import resize_for_load
+from .pipeline import FlowStage, Pipeline
 from .place import PlacedDesign, place
-from .power import PowerReport, analyze_power
+from .power import PowerReport, analyze_power, fold_clock_tree_energy
 from .route import Parasitics, route
 from .timing import TimingReport, analyze_timing
 
@@ -38,22 +47,25 @@ from .timing import TimingReport, analyze_timing
 Stimulus = Callable[[LogicSimulator], None]
 
 
-def prepare_libraries(brick_requests, tech: Technology,
-                      jobs: int = 1, cache=None) -> LibraryModel:
+def prepare_libraries(brick_requests, tech: Optional[Technology] = None,
+                      jobs: Optional[int] = None, cache=None,
+                      session: Optional[Session] = None) -> LibraryModel:
     """Standard cells + brick macros for a flow run, via ``repro.perf``.
 
     ``brick_requests`` is a sequence of ``(BrickSpec, stack)`` pairs.
     Both the standard-cell characterization and every brick cell model
-    route through the content-addressed cache, so running the flow on N
-    designs sharing bricks (the Fig. 4b configs A–E all use the 16x10
-    brick) characterizes each unique point exactly once; cold points fan
-    out over ``jobs`` processes.
+    route through the session's content-addressed cache, so running the
+    flow on N designs sharing bricks (the Fig. 4b configs A–E all use
+    the 16x10 brick) characterizes each unique point exactly once; cold
+    points fan out over the session's ``jobs`` processes.  The
+    ``tech``/``jobs``/``cache`` keywords are the deprecated pre-session
+    shims.
     """
     from ..bricks.library import generate_brick_library
     from ..perf.characterize import cached_stdcell_library
-    std = cached_stdcell_library(tech, cache=cache)
-    bricks, _ = generate_brick_library(brick_requests, tech,
-                                       jobs=jobs, cache=cache)
+    session = Session.ensure(session, tech=tech, jobs=jobs, cache=cache)
+    std = cached_stdcell_library(session.tech, cache=session.cache)
+    bricks, _ = generate_brick_library(brick_requests, session=session)
     return std.merged_with(bricks)
 
 
@@ -103,70 +115,170 @@ class FlowResult:
         return result
 
 
-def run_flow(top: Module, library: LibraryModel, tech: Technology,
+@dataclass
+class FlowState:
+    """Mutable working state threaded through the flow pipeline.
+
+    The configuration half (design, library, stimulus, knobs) is set at
+    construction; the artifact half is populated stage by stage.  A
+    failed run leaves the state partially filled for post-mortems.
+    """
+
+    top: Module
+    library: LibraryModel
+    stimulus: Optional[Stimulus] = None
+    freq_hz: Optional[float] = None
+    utilization: float = 0.65
+    anneal_moves: Optional[int] = None
+    resize: bool = True
+
+    netlist: Optional[FlatNetlist] = None
+    floorplan: Optional[Floorplan] = None
+    placement: Optional[PlacedDesign] = None
+    parasitics: Optional[Parasitics] = None
+    resized_cells: int = 0
+    timing: Optional[TimingReport] = None
+    clock_tree: Optional[ClockTree] = None
+    power: Optional[PowerReport] = None
+
+
+# --- stage bodies ---------------------------------------------------------
+
+
+def _stage_elaborate(session: Session, state: FlowState):
+    state.netlist = elaborate(state.top, state.library)
+    return {"cells": len(state.netlist.cells)}
+
+
+def _stage_floorplan(session: Session, state: FlowState):
+    state.floorplan = build_floorplan(state.netlist, session.tech,
+                                      utilization=state.utilization)
+    return {"die_area_um2": round(state.floorplan.die_area, 1)}
+
+
+def _stage_place(session: Session, state: FlowState):
+    state.placement = place(state.netlist, state.floorplan,
+                            seed=session.seed,
+                            anneal_moves=state.anneal_moves)
+    return None
+
+
+def _stage_route(session: Session, state: FlowState):
+    state.parasitics = route(state.placement, session.tech)
+    return {"wirelength_um":
+            round(state.parasitics.total_wirelength_um, 1)}
+
+
+def _stage_resize_eco(session: Session, state: FlowState):
+    if not state.resize:
+        return {"resized_cells": 0}
+    state.resized_cells = resize_for_load(
+        state.netlist, state.library, state.parasitics, session.tech)
+    if state.resized_cells:
+        # Upsized cells need room: redo floorplan, placement and
+        # routing with the final cell sizes (the ECO pass).
+        _stage_floorplan(session, state)
+        _stage_place(session, state)
+        _stage_route(session, state)
+    return {"resized_cells": state.resized_cells}
+
+
+def _stage_sta(session: Session, state: FlowState):
+    state.timing = analyze_timing(state.netlist, state.parasitics,
+                                  session.tech)
+    return {"fmax_hz": state.timing.fmax}
+
+
+def _stage_clock_tree(session: Session, state: FlowState):
+    # Clock distribution: estimated tree over the sequential sinks.
+    try:
+        state.clock_tree = build_clock_tree(state.placement,
+                                            session.tech)
+    except SynthesisError:
+        state.clock_tree = None  # purely combinational designs
+    return {"sinks": state.clock_tree.n_sinks
+            if state.clock_tree is not None else 0}
+
+
+def _stage_power(session: Session, state: FlowState):
+    if state.stimulus is None:
+        return {"analyzed": False}
+    simulator = LogicSimulator(state.netlist)
+    state.stimulus(simulator)
+    if simulator.activity.cycles == 0:
+        raise SynthesisError(
+            "stimulus did not clock the design; no activity")
+    power = analyze_power(
+        state.netlist, simulator.activity, state.parasitics,
+        session.tech,
+        freq_hz=state.freq_hz if state.freq_hz is not None
+        else state.timing.fmax)
+    if state.clock_tree is not None:
+        # Fold the tree's wire+buffer energy into the report (the
+        # flop/brick clock *pin* energy is already activity-based).
+        power = fold_clock_tree_energy(power, state.clock_tree,
+                                       session.tech)
+    state.power = power
+    return {"analyzed": True, "cycles": simulator.activity.cycles}
+
+
+#: The Fig. 2 flow as an ordered stage pipeline.
+FLOW_PIPELINE = Pipeline([
+    FlowStage("elaborate", _stage_elaborate,
+              "map RTL onto library cells and brick macros"),
+    FlowStage("floorplan", _stage_floorplan,
+              "place brick macros, size the std-cell core"),
+    FlowStage("place", _stage_place,
+              "simulated-annealing std-cell placement"),
+    FlowStage("route", _stage_route,
+              "global routing estimate and RC parasitics"),
+    FlowStage("resize_eco", _stage_resize_eco,
+              "post-route drive resizing plus ECO re-place"),
+    FlowStage("sta", _stage_sta,
+              "static timing analysis (Fmax)"),
+    FlowStage("clock_tree", _stage_clock_tree,
+              "estimated clock distribution tree"),
+    FlowStage("power", _stage_power,
+              "activity-based power with clock-network energy"),
+], name="lim_synthesis")
+
+#: Stage names in execution order (the Fig. 2 boxes).
+FLOW_STAGE_NAMES = FLOW_PIPELINE.stage_names
+
+
+def run_flow(top: Module, library: LibraryModel,
+             tech: Optional[Technology] = None,
              stimulus: Optional[Stimulus] = None,
              freq_hz: Optional[float] = None,
              utilization: float = 0.65,
              anneal_moves: Optional[int] = None,
              resize: bool = True,
-             seed: int = 2015) -> FlowResult:
+             seed: Optional[int] = None,
+             session: Optional[Session] = None) -> FlowResult:
     """Run the full LiM synthesis flow on ``top``.
 
     ``library`` must contain both the standard cells and every brick
     macro the design instantiates (merge them with
     :meth:`LibraryModel.merged_with`).  When ``stimulus`` is given, power
     is analyzed at ``freq_hz`` (default: the design's Fmax).
+
+    Either pass a :class:`~repro.session.Session` (which owns the
+    technology, master seed and event sink) or the legacy
+    ``tech``/``seed`` keywords; both spellings produce identical results
+    for the same technology and seed.
     """
-    netlist = elaborate(top, library)
-    floorplan = build_floorplan(netlist, tech, utilization=utilization)
-    placement = place(netlist, floorplan, seed=seed,
-                      anneal_moves=anneal_moves)
-    parasitics = route(placement, tech)
-    resized = 0
-    if resize:
-        resized = resize_for_load(netlist, library, parasitics, tech)
-        if resized:
-            # Upsized cells need room: redo floorplan, placement and
-            # routing with the final cell sizes (the ECO pass).
-            floorplan = build_floorplan(netlist, tech,
-                                        utilization=utilization)
-            placement = place(netlist, floorplan, seed=seed,
-                              anneal_moves=anneal_moves)
-            parasitics = route(placement, tech)
-    timing = analyze_timing(netlist, parasitics, tech)
-
-    # Clock distribution: estimated tree over the sequential sinks.
-    try:
-        clock_tree = build_clock_tree(placement, tech)
-    except SynthesisError:
-        clock_tree = None  # purely combinational designs
-
-    power = None
-    if stimulus is not None:
-        simulator = LogicSimulator(netlist)
-        stimulus(simulator)
-        if simulator.activity.cycles == 0:
-            raise SynthesisError(
-                "stimulus did not clock the design; no activity")
-        power = analyze_power(
-            netlist, simulator.activity, parasitics, tech,
-            freq_hz=freq_hz if freq_hz is not None else timing.fmax)
-        if clock_tree is not None:
-            # Fold the tree's wire+buffer energy into the report (the
-            # flop/brick clock *pin* energy is already activity-based).
-            extra = clock_tree.wire_cap + clock_tree.buffer_cap
-            tree_energy = extra * tech.vdd ** 2
-            power.energy_per_cycle += tree_energy
-            power.dynamic_w += tree_energy * power.freq_hz
-            power.by_category["clock_network"] = \
-                tree_energy * power.freq_hz
+    session = Session.ensure(session, tech=tech, seed=seed)
+    state = FlowState(top=top, library=library, stimulus=stimulus,
+                      freq_hz=freq_hz, utilization=utilization,
+                      anneal_moves=anneal_moves, resize=resize)
+    FLOW_PIPELINE.run(session, state)
     return FlowResult(
-        netlist=netlist,
-        floorplan=floorplan,
-        placement=placement,
-        parasitics=parasitics,
-        timing=timing,
-        power=power,
-        resized_cells=resized,
-        clock_tree=clock_tree,
+        netlist=state.netlist,
+        floorplan=state.floorplan,
+        placement=state.placement,
+        parasitics=state.parasitics,
+        timing=state.timing,
+        power=state.power,
+        resized_cells=state.resized_cells,
+        clock_tree=state.clock_tree,
     )

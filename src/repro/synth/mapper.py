@@ -14,14 +14,14 @@ cover:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from ..cells.stdcells import unit_input_cap
 from ..errors import SynthesisError
 from ..liberty.models import LibraryModel
 from ..rtl.components import and_tree, inv, or_tree
-from ..rtl.module import FlatCell, FlatNetlist, Module
-from ..rtl.signals import Bus, Net, as_bus
+from ..rtl.module import FlatNetlist, Module
+from ..rtl.signals import Net, as_bus
 from ..tech.technology import Technology
 from .route import Parasitics
 

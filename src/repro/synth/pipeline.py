@@ -1,0 +1,88 @@
+"""Staged pipeline runner for the Fig. 2 synthesis flow.
+
+The paper's flow is explicitly staged (elaborate -> floorplan -> place
+-> route -> resize/ECO -> STA -> clock tree -> power); this module
+gives those boundaries a first-class representation so every stage is
+individually observable and reusable:
+
+* a :class:`FlowStage` is a named unit of work mutating a shared flow
+  state under a :class:`~repro.session.Session`;
+* a :class:`Pipeline` drives an ordered sequence of stages, records
+  each stage's wall clock and emits exactly one structured
+  :class:`~repro.session.StageEvent` per stage to the session's sink;
+* a stage failure is wrapped into a :class:`~repro.errors.SynthesisError`
+  naming the failing stage (the original exception is chained), so a
+  flow error always says *where* in the pipeline it happened.
+
+``repro.synth.flow`` defines the concrete stages; this runner is
+deliberately generic so future pipelines (incremental re-runs, sharded
+sweeps, tracing exporters) can reuse it unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+
+from ..errors import SessionError, SynthesisError
+from ..perf.timer import Stopwatch
+from ..session import Session, StageEvent
+
+#: A stage body receives ``(session, state)`` and mutates ``state``;
+#: it may return a detail dict that is attached to the stage's event.
+StageBody = Callable[[Session, Any], Optional[Dict[str, Any]]]
+
+
+@dataclass(frozen=True)
+class FlowStage:
+    """One named stage of a synthesis pipeline."""
+
+    name: str
+    run: StageBody
+    description: str = ""
+
+
+class Pipeline:
+    """An ordered sequence of stages driven under one session."""
+
+    def __init__(self, stages: Sequence[FlowStage],
+                 name: str = "flow") -> None:
+        self.stages: Tuple[FlowStage, ...] = tuple(stages)
+        self.name = name
+        names = [stage.name for stage in self.stages]
+        if not self.stages:
+            raise SessionError(f"pipeline {name!r} has no stages")
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise SessionError(
+                f"pipeline {name!r} has duplicate stage names {dupes}")
+
+    @property
+    def stage_names(self) -> Tuple[str, ...]:
+        return tuple(stage.name for stage in self.stages)
+
+    def run(self, session: Session, state: Any) -> Any:
+        """Execute every stage in order, emitting one event per stage.
+
+        Returns ``state`` (mutated in place).  On failure the partially
+        populated state is left as-is for post-mortem inspection and a
+        :class:`SynthesisError` naming the stage is raised from the
+        original exception.
+        """
+        for index, stage in enumerate(self.stages):
+            watch = Stopwatch()
+            try:
+                detail = stage.run(session, state)
+            except Exception as exc:
+                session.emit(StageEvent(
+                    stage=stage.name, index=index,
+                    wall_clock_s=watch.elapsed(), ok=False,
+                    error=str(exc)))
+                raise SynthesisError(
+                    f"pipeline {self.name!r} stage {stage.name!r} "
+                    f"failed: {exc}") from exc
+            session.emit(StageEvent(
+                stage=stage.name, index=index,
+                wall_clock_s=watch.elapsed(), ok=True,
+                detail=detail or {}))
+        return state

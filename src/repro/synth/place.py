@@ -14,10 +14,9 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from ..errors import SynthesisError
 from ..rtl.module import FlatCell, FlatNetlist
 from .floorplan import Floorplan, Placement
 

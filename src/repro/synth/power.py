@@ -11,13 +11,16 @@ rather than a flat toggle rate.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from ..errors import PowerError
 from ..rtl.module import FlatNetlist
 from ..rtl.simulate import Activity
 from ..tech.technology import Technology
 from .route import Parasitics
+
+if TYPE_CHECKING:
+    from .clock import ClockTree
 
 
 @dataclass
@@ -33,6 +36,29 @@ class PowerReport:
     @property
     def total_w(self) -> float:
         return self.dynamic_w + self.leakage_w
+
+
+def fold_clock_tree_energy(report: PowerReport, tree: "ClockTree",
+                           tech: Technology) -> PowerReport:
+    """A new report with the clock tree's wire+buffer energy folded in.
+
+    The flop/brick clock *pin* energy is already activity-based in
+    ``report``; this adds the distribution network itself (tree wire and
+    buffer capacitance switched every cycle) under a ``clock_network``
+    category.  Pure: the input report is never mutated, so folding is
+    idempotent per call site and a report can be folded against several
+    candidate trees without corruption.
+    """
+    tree_energy = (tree.wire_cap + tree.buffer_cap) * tech.vdd ** 2
+    by_category = dict(report.by_category)
+    by_category["clock_network"] = tree_energy * report.freq_hz
+    return PowerReport(
+        freq_hz=report.freq_hz,
+        dynamic_w=report.dynamic_w + tree_energy * report.freq_hz,
+        leakage_w=report.leakage_w,
+        by_category=by_category,
+        energy_per_cycle=report.energy_per_cycle + tree_energy,
+    )
 
 
 def analyze_power(netlist: FlatNetlist, activity: Activity,

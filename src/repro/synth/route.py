@@ -13,8 +13,6 @@ from typing import Dict, List, Tuple
 
 import math
 
-from ..errors import SynthesisError
-from ..rtl.module import FlatNetlist
 from ..tech.technology import Technology
 from .place import PlacedDesign
 

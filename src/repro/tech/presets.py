@@ -15,7 +15,7 @@ tests and the ablation benches, not by the headline reproductions.
 
 from __future__ import annotations
 
-from ..units import FF, NA, NM, OHM, UM
+from ..units import FF, NA
 from .technology import Technology
 from .wire import WireLayer
 

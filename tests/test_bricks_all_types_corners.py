@@ -10,7 +10,7 @@ from repro.bricks import (
     sram_brick,
 )
 from repro.cells import MEMORY_TYPES
-from repro.tech import BEST, WORST, cmos65
+from repro.tech import BEST, WORST
 
 
 class TestAllMemoryTypes:

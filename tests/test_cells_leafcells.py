@@ -4,7 +4,7 @@ import pytest
 
 from repro.cells import ControlBlock, LocalSense, WordlineDriver, \
     inverter_widths
-from repro.circuit import GND, SpiceCircuit, TransientSimulator, ramp
+from repro.circuit import SpiceCircuit, TransientSimulator, ramp
 from repro.errors import BrickError
 from repro.units import FF, NS, PS
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.cells import (
     DEFAULT_DRIVES,
-    cell_name,
     make_stdcell,
     make_stdcell_library,
     pick_drive,

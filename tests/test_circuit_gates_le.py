@@ -5,7 +5,6 @@ import itertools
 import pytest
 
 from repro.circuit import (
-    CATALOG,
     buffer_chain,
     gate_delay,
     gate_type,

@@ -1,6 +1,5 @@
 """Tests for the device netlist container and the transient simulator."""
 
-import numpy as np
 import pytest
 
 from repro.circuit import GND, SpiceCircuit, TransientSimulator, ramp

@@ -47,6 +47,17 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["--jobs", "abc", "sweep"])
 
+    def test_trace_stages_flag(self):
+        args = build_parser().parse_args(["--trace-stages", "brick"])
+        assert args.trace_stages
+        assert not build_parser().parse_args(["brick"]).trace_stages
+
+    def test_sram_session_flags(self):
+        args = build_parser().parse_args(
+            ["sram", "--seed", "9", "--utilization", "0.5"])
+        assert args.seed == 9
+        assert args.utilization == 0.5
+
 
 class TestCommands:
     def test_brick_command(self, capsys):

@@ -26,7 +26,7 @@ from repro.spgemm import (
     erdos_renyi,
 )
 from repro.synth import run_flow
-from repro.tech import WORST, cmos65
+from repro.tech import WORST
 from repro.units import GHZ, MHZ
 
 

@@ -29,8 +29,8 @@ class TestLUT2D:
     def test_exact_at_grid_points(self):
         lut = _lut()
         for i, s in enumerate(lut.slews):
-            for j, l in enumerate(lut.loads):
-                assert lut.value(s, l) == pytest.approx(
+            for j, ld in enumerate(lut.loads):
+                assert lut.value(s, ld) == pytest.approx(
                     lut.values[i][j])
 
     def test_bilinear_interior(self):
@@ -51,7 +51,7 @@ class TestLUT2D:
         assert lut.value(123.0, -5.0) == 7.5
 
     def test_from_function(self):
-        lut = LUT2D.from_function(lambda s, l: s + l, (0.0, 1.0),
+        lut = LUT2D.from_function(lambda s, ld: s + ld, (0.0, 1.0),
                                   (0.0, 2.0))
         assert lut.value(1.0, 2.0) == pytest.approx(3.0)
         assert lut.value(0.5, 1.0) == pytest.approx(1.5)
@@ -69,7 +69,7 @@ class TestLUT2D:
         assert lut.value(1.0, 10.0) == pytest.approx(2.0)
 
     def test_fit_plane_exact_for_planar_data(self):
-        lut = LUT2D.from_function(lambda s, l: 3.0 + 2.0 * s + 0.5 * l,
+        lut = LUT2D.from_function(lambda s, ld: 3.0 + 2.0 * s + 0.5 * ld,
                                   (0.0, 1.0, 2.0), (0.0, 4.0))
         k0, k1, k2, err = lut.fit_plane()
         assert k0 == pytest.approx(3.0)
@@ -78,15 +78,15 @@ class TestLUT2D:
         assert err == pytest.approx(0.0, abs=1e-9)
 
     def test_fit_plane_reports_residual(self):
-        lut = LUT2D.from_function(lambda s, l: s * l, (0.0, 1.0, 2.0),
+        lut = LUT2D.from_function(lambda s, ld: s * ld, (0.0, 1.0, 2.0),
                                   (0.0, 1.0, 2.0))
         *_, err = lut.fit_plane()
         assert err > 0
 
     def test_from_grid_matches_from_function(self):
-        fn = lambda s, l: 1.0 + 2.0 * s + 3.0 * l  # noqa: E731
+        fn = lambda s, ld: 1.0 + 2.0 * s + 3.0 * ld  # noqa: E731
         slews, loads = (0.0, 1.0), (0.0, 2.0, 4.0)
-        grid = [[fn(s, l) for l in loads] for s in slews]
+        grid = [[fn(s, ld) for ld in loads] for s in slews]
         assert LUT2D.from_grid(slews, loads, grid) == \
             LUT2D.from_function(fn, slews, loads)
 
@@ -97,8 +97,8 @@ class TestLUT2DVectorized:
     def _assert_matches_scalar(self, lut, slews, loads):
         import numpy as np
         got = lut.value_many(np.asarray(slews), np.asarray(loads))
-        for s, l, v in zip(slews, loads, got):
-            assert v == lut.value(s, l)  # exact, not approx
+        for s, ld, v in zip(slews, loads, got):
+            assert v == lut.value(s, ld)  # exact, not approx
 
     def test_grid_interior_and_extrapolation(self):
         lut = _lut()
@@ -126,19 +126,19 @@ class TestLUT2DVectorized:
         loads = np.array([5.0, 15.0, 25.0, 35.0])
         got = lut.value_many(1.5, loads)
         assert got.shape == loads.shape
-        for l, v in zip(loads, got):
-            assert v == lut.value(1.5, l)
+        for ld, v in zip(loads, got):
+            assert v == lut.value(1.5, ld)
 
     def test_outer_grid_shape(self):
         import numpy as np
         lut = _lut()
         s = np.array([[1.0], [1.5], [2.0]])   # 3x1
-        l = np.array([[12.0, 22.0]])          # 1x2
-        got = lut.value_many(s, l)
+        ld = np.array([[12.0, 22.0]])          # 1x2
+        got = lut.value_many(s, ld)
         assert got.shape == (3, 2)
         for i in range(3):
             for j in range(2):
-                assert got[i, j] == lut.value(s[i, 0], l[0, j])
+                assert got[i, j] == lut.value(s[i, 0], ld[0, j])
 
     def test_characterized_brick_lut(self, fig3_library):
         import numpy as np
@@ -148,8 +148,8 @@ class TestLUT2DVectorized:
         slews = rng.uniform(0.0, 1e-9, size=64)
         loads = rng.uniform(0.0, 2e-13, size=64)
         got = arc.delay.value_many(slews, loads)
-        for s, l, v in zip(slews, loads, got):
-            assert v == arc.delay.value(s, l)
+        for s, ld, v in zip(slews, loads, got):
+            assert v == arc.delay.value(s, ld)
 
 
 def _cell():

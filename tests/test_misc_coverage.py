@@ -114,7 +114,12 @@ class TestComponentEdgeCases:
     def test_onehot_mux_many_options(self, stdlib):
         """More than four options falls back to the OR-tree collect."""
         from repro.rtl import (
-            Bus, LogicSimulator, Module, as_bus, elaborate, onehot_mux)
+            LogicSimulator,
+            Module,
+            as_bus,
+            elaborate,
+            onehot_mux,
+        )
         m = Module("wide")
         m.input("clk")
         options = [as_bus(m.input(f"d{i}", 2)) for i in range(6)]

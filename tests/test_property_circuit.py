@@ -65,20 +65,20 @@ class TestLUTProperties:
     @_settings
     def test_exact_at_grid(self, lut):
         for i, s in enumerate(lut.slews):
-            for j, l in enumerate(lut.loads):
-                assert lut.value(s, l) == pytest.approx(
+            for j, ld in enumerate(lut.loads):
+                assert lut.value(s, ld) == pytest.approx(
                     lut.values[i][j], rel=1e-9, abs=1e-9)
 
     @given(lut_strategy(), st.floats(0.0, 100.0), st.floats(0.0, 100.0))
     @_settings
-    def test_interpolation_within_bounds(self, lut, s, l):
+    def test_interpolation_within_bounds(self, lut, s, ld):
         """Inside the grid the bilinear value never escapes the value
         range of the table."""
         if not (lut.slews[0] <= s <= lut.slews[-1]
-                and lut.loads[0] <= l <= lut.loads[-1]):
+                and lut.loads[0] <= ld <= lut.loads[-1]):
             return
         flat = [v for row in lut.values for v in row]
-        value = lut.value(s, l)
+        value = lut.value(s, ld)
         assert min(flat) - 1e-6 <= value <= max(flat) + 1e-6
 
 

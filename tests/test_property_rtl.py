@@ -1,7 +1,6 @@
 """Property-based tests: RTL generators vs Python semantics, SRAM vs
 reference memory model, logical-effort sizing optimality."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -126,8 +125,7 @@ class TestLogicalEffortOptimality:
         caps[stage] *= factor
 
         def chain_delay(caps_list):
-            from repro.circuit.logical_effort import le_tau, \
-                parasitic_inv
+            from repro.circuit.logical_effort import parasitic_inv
             total = 0.0
             p_inv = parasitic_inv(tech)
             for i in range(n_stages):

@@ -9,7 +9,6 @@ import itertools
 import pytest
 
 from repro.rtl import (
-    Bus,
     LogicSimulator,
     Module,
     as_bus,

@@ -130,7 +130,8 @@ class TestInterpolationMemory:
         assert error < 0.01
 
     def test_smooth_function_error_shrinks_with_denser_seeds(self):
-        func = lambda x, y: 2.0 + math.sin(x) * math.cos(y)
+        def func(x, y):
+            return 2.0 + math.sin(x) * math.cos(y)
         coarse = InterpolationMemory(
             build_seed_table(func, 5, 5, stride=0.8), frac_bits=12)
         dense = InterpolationMemory(

@@ -17,7 +17,6 @@ from repro.spgemm import (
     lim_energy_model,
     mesh_2d,
     power_law,
-    stream_block,
 )
 
 

@@ -4,14 +4,10 @@ import random
 
 import pytest
 
-from repro.bricks import generate_brick_library, single_partition, \
-    sram_brick
 from repro.errors import PowerError, SynthesisError, TimingError
-from repro.rtl import LogicSimulator, Module, as_bus, build_sram, \
-    elaborate, fig3_sram
+from repro.rtl import LogicSimulator, Module, as_bus, elaborate, fig3_sram
 from repro.synth import (
     analyze_power,
-    analyze_timing,
     build_floorplan,
     flow_report,
     place,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import TechnologyError
-from repro.tech import NMOS, PMOS, Transistor, WireLayer, cmos65
+from repro.tech import NMOS, PMOS, Transistor, WireLayer
 
 
 class TestWireLayer:

@@ -1,20 +1,9 @@
 """Tests for engineering units and SI formatting."""
 
-import math
 
 import pytest
 
-from repro.units import (
-    FF,
-    GHZ,
-    KOHM,
-    MHZ,
-    NS,
-    PJ,
-    PS,
-    format_si,
-    ratio_percent,
-)
+from repro.units import FF, KOHM, MHZ, NS, PJ, PS, format_si, ratio_percent
 
 
 class TestConstants:
