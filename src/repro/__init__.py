@@ -43,6 +43,9 @@ The package implements the paper's full stack in pure Python:
     characterization cache, executor width, master seed and the stage
     event sink, constructed once per entry point and passed down
     through every layer.
+``repro.faults``
+    Defect injection, yield/repair analysis and the SEC-DED overhead
+    accounting — the manufacturability side of the brick argument.
 
 Quick start::
 
@@ -59,6 +62,7 @@ from . import (
     cells,
     circuit,
     explore,
+    faults,
     liberty,
     perf,
     rtl,
@@ -70,13 +74,14 @@ from . import (
     tech,
 )
 from .errors import ReproError
-from .session import RecordingSink, Session, StageEvent
+from .session import FaultEvent, RecordingSink, Session, StageEvent
 
 __version__ = "1.0.0"
 
 __all__ = [
-    "bricks", "cells", "circuit", "explore", "liberty", "perf", "rtl",
-    "session", "silicon", "smartmem", "spgemm", "synth", "tech",
-    "ReproError", "RecordingSink", "Session", "StageEvent",
+    "bricks", "cells", "circuit", "explore", "faults", "liberty",
+    "perf", "rtl", "session", "silicon", "smartmem", "spgemm", "synth",
+    "tech",
+    "ReproError", "FaultEvent", "RecordingSink", "Session", "StageEvent",
     "__version__",
 ]

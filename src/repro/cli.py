@@ -37,10 +37,15 @@ from .bricks import (
     single_partition,
 )
 from .cells import make_stdcell_library
-from .errors import ReproError
+from .errors import ReproError, exit_code_for, failure_domain
 from .explore import pareto_front, sweep_partitions
 from .liberty import write_liberty
-from .perf import configure_default_cache, default_cache
+from .perf import (
+    ExecutorPolicy,
+    configure_default_cache,
+    default_cache,
+    set_default_executor_policy,
+)
 from .rtl import build_sram, emit_hierarchy
 from .session import DEFAULT_SEED, PrintingSink, Session
 from .synth import flow_report, prepare_libraries
@@ -74,6 +79,12 @@ def _parse_brick_token(token: str) -> tuple:
     return words, bits, stack
 
 
+def _yield_plan(args):
+    from .faults import RepairPlan
+    return RepairPlan(spare_rows=args.spare_rows,
+                      spare_cols=args.spare_cols, ecc=args.ecc)
+
+
 def cmd_brick(args) -> int:
     session = _session(args)
     tech = session.tech
@@ -97,6 +108,26 @@ def cmd_brick(args) -> int:
     print(f"  leakage (bank)     : {format_si(est.leakage_w, 'W')}")
     print(f"  max read frequency : "
           f"{format_si(est.max_read_frequency(), 'Hz')}")
+    if args.yield_:
+        from .faults import analyze_yield
+        report = analyze_yield(spec, stack=args.stack,
+                               n_bricks=args.population,
+                               plan=_yield_plan(args),
+                               session=session)
+        print(report.render())
+    return 0
+
+
+def cmd_faults(args) -> int:
+    from .faults import analyze_yield
+    session = _session(args)
+    spec = BrickSpec(args.type, args.words, args.bits)
+    report = analyze_yield(spec, stack=args.stack,
+                           partitions=args.partitions,
+                           n_bricks=args.population,
+                           plan=_yield_plan(args),
+                           session=session)
+    print(report.render())
     return 0
 
 
@@ -158,9 +189,13 @@ def cmd_sweep(args) -> int:
         bits_options=tuple(args.bits),
         brick_words_options=tuple(args.brick_words),
         memory_type=args.type,
+        keep_going=args.keep_going,
         session=session)
     print(f"{len(result.points)} design points in "
           f"{result.wall_clock_s * 1e3:.0f} ms")
+    for failed in result.failures:
+        print(f"skipped {failed.label}: {failed.error}",
+              file=sys.stderr)
     header = (f"{'memory':>12s} {'brick':>12s} {'delay':>9s} "
               f"{'energy':>11s} {'area':>11s}")
     print(header)
@@ -269,7 +304,29 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--trace-stages", action="store_true",
                         help="print per-stage wall clock of every "
                              "pipeline run to stderr")
+    parser.add_argument("--max-retries", type=int, default=1,
+                        help="parallel-task retry rounds after a "
+                             "failure (default: 1)")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        help="per-task timeout in seconds for parallel "
+                             "characterization (default: none)")
+    parser.add_argument("--keep-going", action="store_true",
+                        help="skip-and-report failed design points "
+                             "instead of aborting (sweep)")
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def _yield_args(p, with_partitions=False):
+        p.add_argument("--population", type=int, default=1000,
+                       help="sampled brick instances (default: 1000)")
+        p.add_argument("--spare-rows", type=int, default=2)
+        p.add_argument("--spare-cols", type=int, default=1)
+        p.add_argument("--ecc", action="store_true",
+                       help="extend words with SEC-DED check bits")
+        p.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                       help="session master seed driving defect "
+                            f"sampling (default: {DEFAULT_SEED})")
+        if with_partitions:
+            p.add_argument("--partitions", type=int, default=1)
 
     p = sub.add_parser("brick", help="compile and estimate one brick")
     p.add_argument("--type", default="8T",
@@ -277,7 +334,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--words", type=int, default=16)
     p.add_argument("--bits", type=int, default=10)
     p.add_argument("--stack", type=int, default=1)
+    p.add_argument("--yield", dest="yield_", action="store_true",
+                   help="append a defect/yield/repair analysis")
+    _yield_args(p)
     p.set_defaults(func=cmd_brick)
+
+    p = sub.add_parser("faults",
+                       help="defect injection and yield-after-repair "
+                            "analysis of one brick population")
+    p.add_argument("--type", default="8T",
+                   choices=["6T", "8T", "CAM", "EDRAM", "DP"])
+    p.add_argument("--words", type=int, default=16)
+    p.add_argument("--bits", type=int, default=10)
+    p.add_argument("--stack", type=int, default=1)
+    _yield_args(p, with_partitions=True)
+    p.set_defaults(func=cmd_faults)
 
     p = sub.add_parser("library",
                        help="generate a brick library (.lib)")
@@ -344,11 +415,16 @@ def main(argv: Optional[Sequence[str]] = None,
     args._session = session
     configure_default_cache(cache_dir=args.cache_dir,
                             enabled=not args.no_cache)
+    set_default_executor_policy(ExecutorPolicy(
+        task_timeout_s=args.task_timeout,
+        max_retries=args.max_retries))
     try:
         return args.func(args)
     except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
+        # One exit code per failure domain (see repro.errors.EXIT_CODES)
+        # so scripts can triage without parsing the message.
+        print(f"error: {failure_domain(exc)}: {exc}", file=sys.stderr)
+        return exit_code_for(exc)
     finally:
         if args.cache_stats:
             stats = default_cache().stats
@@ -357,6 +433,10 @@ def main(argv: Optional[Sequence[str]] = None,
                   f"disk), {stats.misses} misses, "
                   f"{stats.bytes_written} bytes written, "
                   f"{stats.bytes_read} bytes read", file=sys.stderr)
+            if stats.quarantined:
+                print(f"cache: {stats.quarantined} corrupt entr"
+                      f"{'y' if stats.quarantined == 1 else 'ies'} "
+                      f"quarantined", file=sys.stderr)
 
 
 if __name__ == "__main__":

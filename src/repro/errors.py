@@ -3,9 +3,17 @@
 Every error raised by this package derives from :class:`ReproError`, so
 callers can catch one base class at flow boundaries while still telling the
 failure domains apart.
+
+Each subclass also names a **failure domain** and carries a distinct
+process exit code (:func:`exit_code_for`): the CLI maps any uncaught
+:class:`ReproError` to its domain's code, so shell scripts driving
+``python -m repro`` can branch on *where* the flow failed without
+parsing stderr.
 """
 
 from __future__ import annotations
+
+from typing import Tuple, Type
 
 
 class ReproError(Exception):
@@ -78,3 +86,64 @@ class SparseError(ReproError):
 
 class AcceleratorError(ReproError):
     """SpGEMM accelerator simulation failure (capacity overflow, ...)."""
+
+
+class FaultError(ReproError):
+    """Invalid defect model, defect sample or fault-injection request."""
+
+
+class YieldError(ReproError):
+    """Yield/repair analysis failure (empty population, bad plan)."""
+
+
+class ExecutorError(ReproError):
+    """Parallel-executor failure that survived retry and the serial
+    fallback (the wrapped cause is the task's own exception)."""
+
+
+#: Domain exit codes, one per concrete error class.  Codes are stable
+#: API: scripts branch on them, so entries are appended, never renumbered.
+#: 1 stays the generic ``ReproError`` catch-all; 2 is argparse's usage
+#: error and is deliberately skipped.
+EXIT_CODES: Tuple[Tuple[Type[ReproError], int], ...] = (
+    (SessionError, 10),
+    (TechnologyError, 11),
+    (PatternError, 12),
+    (NetlistError, 13),
+    (SizingError, 14),
+    (SimulationError, 15),
+    (LayoutError, 16),
+    (LibraryError, 17),
+    (BrickError, 18),
+    (RTLError, 19),
+    (SynthesisError, 20),
+    (TimingError, 21),
+    (PowerError, 22),
+    (ExplorationError, 23),
+    (SiliconError, 24),
+    (SparseError, 25),
+    (AcceleratorError, 26),
+    (FaultError, 27),
+    (YieldError, 28),
+    (ExecutorError, 29),
+)
+
+
+def failure_domain(exc: ReproError) -> str:
+    """Short domain name of an error (``BrickError`` -> ``brick``)."""
+    name = type(exc).__name__
+    if name.endswith("Error"):
+        name = name[: -len("Error")]
+    return name.lower() or "repro"
+
+
+def exit_code_for(exc: ReproError) -> int:
+    """The CLI exit code for ``exc``: its exact class's registered code,
+    else the nearest registered base class, else the generic 1."""
+    for klass, code in EXIT_CODES:
+        if type(exc) is klass:
+            return code
+    for klass, code in EXIT_CODES:
+        if isinstance(exc, klass):
+            return code
+    return 1

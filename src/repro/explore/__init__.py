@@ -9,6 +9,7 @@ from .chip_gen import (
 from .pareto import dominates, knee_point, pareto_front
 from .sweep import (
     BrickChoice,
+    FailedPoint,
     SweepPoint,
     SweepResult,
     optimize_brick_selection,
@@ -19,6 +20,6 @@ __all__ = [
     "DesignTemplate", "generate_variants", "mac_core_generator",
     "mac_template",
     "dominates", "knee_point", "pareto_front",
-    "BrickChoice", "SweepPoint", "SweepResult",
+    "BrickChoice", "FailedPoint", "SweepPoint", "SweepResult",
     "optimize_brick_selection", "sweep_partitions",
 ]

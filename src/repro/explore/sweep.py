@@ -14,14 +14,15 @@ selection instead of taking it as an input.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..bricks.spec import BrickSpec
 from ..errors import ExplorationError
 from ..perf.characterize import estimate_points
+from ..perf.parallel import TaskFailure
 from ..perf.timer import Stopwatch
-from ..session import Session
+from ..session import FaultEvent, Session
 from ..tech.technology import Technology
 
 
@@ -54,10 +55,27 @@ class SweepPoint:
         }
 
 
+@dataclass(frozen=True)
+class FailedPoint:
+    """One design point the sweep skipped under ``keep_going``."""
+
+    total_words: int
+    bits: int
+    brick_words: int
+    stack: int
+    error: str
+
+    @property
+    def label(self) -> str:
+        return (f"{self.total_words}x{self.bits}b from "
+                f"{self.brick_words}x{self.bits}b bricks")
+
+
 @dataclass
 class SweepResult:
     points: List[SweepPoint]
     wall_clock_s: float
+    failures: List[FailedPoint] = field(default_factory=list)
 
     def filter(self, total_words: Optional[int] = None,
                bits: Optional[int] = None,
@@ -90,6 +108,7 @@ def sweep_partitions(tech: Optional[Technology] = None,
                      memory_type: str = "8T",
                      jobs: Optional[int] = None,
                      cache=None,
+                     keep_going: bool = False,
                      session: Optional[Session] = None) -> SweepResult:
     """The Fig. 4c sweep: single-partition memories of each size built
     from each brick flavour.
@@ -103,6 +122,13 @@ def sweep_partitions(tech: Optional[Technology] = None,
     ``jobs`` processes, and the returned point list is ordered
     identically regardless of ``jobs``.  The ``tech``/``jobs``/
     ``cache`` keywords are the deprecated pre-session shims.
+
+    With ``keep_going=True`` a design point whose characterization
+    fails is skipped and recorded (one :class:`FailedPoint` in
+    ``SweepResult.failures`` plus a :class:`~repro.session.FaultEvent`
+    on the session sink) instead of aborting the whole sweep; every
+    healthy point still comes back, in grid order.  A sweep in which
+    *every* point failed raises :class:`ExplorationError`.
     """
     session = Session.ensure(session, tech=tech, jobs=jobs, cache=cache)
     watch = Stopwatch()
@@ -119,9 +145,24 @@ def sweep_partitions(tech: Optional[Technology] = None,
     tasks = [(BrickSpec(memory_type, brick_words, bits), stack)
              for bits, brick_words, _, stack in grid]
     estimates = estimate_points(tasks, session.tech, jobs=session.jobs,
-                                cache=session.cache)
-    points = [
-        SweepPoint(
+                                cache=session.cache,
+                                keep_going=keep_going)
+    points: List[SweepPoint] = []
+    failures: List[FailedPoint] = []
+    for (bits, brick_words, total_words, stack), est in zip(grid,
+                                                            estimates):
+        if isinstance(est, TaskFailure):
+            failed = FailedPoint(
+                total_words=total_words, bits=bits,
+                brick_words=brick_words, stack=stack,
+                error=f"{est.kind}: {est.error}")
+            failures.append(failed)
+            session.emit(FaultEvent(
+                domain="sweep", name=failed.label,
+                index=len(points) + len(failures) - 1,
+                error=failed.error, recovered=True))
+            continue
+        points.append(SweepPoint(
             total_words=total_words,
             bits=bits,
             brick_words=brick_words,
@@ -131,11 +172,13 @@ def sweep_partitions(tech: Optional[Technology] = None,
             write_energy=est.write_energy,
             area_um2=est.area_um2,
             leakage_w=est.leakage_w,
-        )
-        for (bits, brick_words, total_words, stack), est
-        in zip(grid, estimates)
-    ]
-    return SweepResult(points, watch.elapsed())
+        ))
+    if not points:
+        raise ExplorationError(
+            f"every sweep point failed "
+            f"({len(failures)} failures; first: "
+            f"{failures[0].error})")
+    return SweepResult(points, watch.elapsed(), failures=failures)
 
 
 @dataclass(frozen=True)

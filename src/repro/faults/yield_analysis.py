@@ -1,0 +1,206 @@
+"""Population yield analysis before and after repair.
+
+:func:`analyze_yield` samples a population of brick instances from the
+session's master seed, scores each against a :class:`RepairPlan`, and
+rolls the results up to bank granularity (a bank needs *all* its
+``stack x partitions`` bricks good).  The price of the repair
+resources — spare rows/columns and optional SEC-DED check bits — is
+charged through :func:`repro.perf.characterize.cached_estimate` on the
+expanded geometry, plus the elaborated standard-cell area of the ECC
+encoder/decoder, so overhead numbers come from the same models as
+every other figure in the flow.
+
+Determinism: the same ``(seed, spec, stack, model, plan, n_bricks)``
+produces a byte-identical :meth:`YieldReport.render` — the CI smoke
+job diffs two runs to hold that line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..bricks.spec import BrickSpec
+from ..errors import YieldError
+from ..perf.characterize import cached_estimate, cached_stdcell_library
+from ..session import Session
+from .defects import DefectModel, inject
+from .repair import RepairOutcome, RepairPlan, apply_repair, repaired_spec
+
+
+def _ecc_logic_area(data_bits: int, session: Session) -> float:
+    """Elaborated stdcell area of the SEC-DED encoder + corrector."""
+    from ..rtl.ecc import build_secded_decoder, build_secded_encoder
+    from ..rtl.module import elaborate
+    library = cached_stdcell_library(session.tech, cache=session.cache)
+    total = 0.0
+    for module in (build_secded_encoder(data_bits),
+                   build_secded_decoder(data_bits)):
+        netlist = elaborate(module, library)
+        total += sum(cell.model.area for cell in netlist.cells)
+    return total
+
+
+@dataclass(frozen=True)
+class YieldReport:
+    """Everything the yield study measured, rendered deterministically."""
+
+    spec: BrickSpec
+    stack: int
+    partitions: int
+    n_bricks: int
+    n_banks: int
+    seed: int
+    model: DefectModel
+    plan: RepairPlan
+    defect_counts: Dict[str, int]
+    raw_yield: float
+    repaired_yield: float
+    raw_bank_yield: float
+    repaired_bank_yield: float
+    rows_used: int
+    cols_used: int
+    ecc_words: int
+    unrepairable: Tuple[str, ...]  # first few failure reasons
+    area_overhead: float
+    delay_overhead: float
+    energy_overhead: float
+    leakage_overhead: float
+    ecc_logic_area_um2: float = 0.0
+
+    @property
+    def yield_gain(self) -> float:
+        return self.repaired_yield - self.raw_yield
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "brick": self.spec.name,
+            "stack": self.stack,
+            "partitions": self.partitions,
+            "n_bricks": self.n_bricks,
+            "n_banks": self.n_banks,
+            "seed": self.seed,
+            "plan": self.plan.describe(),
+            "defect_counts": dict(sorted(self.defect_counts.items())),
+            "raw_yield": round(self.raw_yield, 6),
+            "repaired_yield": round(self.repaired_yield, 6),
+            "raw_bank_yield": round(self.raw_bank_yield, 6),
+            "repaired_bank_yield": round(self.repaired_bank_yield, 6),
+            "rows_used": self.rows_used,
+            "cols_used": self.cols_used,
+            "ecc_words": self.ecc_words,
+            "area_overhead": round(self.area_overhead, 6),
+            "delay_overhead": round(self.delay_overhead, 6),
+            "energy_overhead": round(self.energy_overhead, 6),
+            "leakage_overhead": round(self.leakage_overhead, 6),
+            "ecc_logic_area_um2": round(self.ecc_logic_area_um2, 3),
+        }
+
+    def render(self) -> str:
+        """Fixed-format report; byte-identical for identical inputs."""
+        lines = [
+            f"yield report: {self.spec.name} x{self.stack} stack, "
+            f"{self.partitions} partition(s)",
+            f"  population: {self.n_bricks} bricks "
+            f"({self.n_banks} banks), seed {self.seed}",
+            f"  repair plan: {self.plan.describe()}",
+            "  defects sampled:",
+        ]
+        for kind, count in sorted(self.defect_counts.items()):
+            lines.append(f"    {kind:<16} {count}")
+        lines += [
+            f"  brick yield: raw {self.raw_yield:.4f} -> "
+            f"repaired {self.repaired_yield:.4f} "
+            f"(+{self.yield_gain:.4f})",
+            f"  bank yield:  raw {self.raw_bank_yield:.4f} -> "
+            f"repaired {self.repaired_bank_yield:.4f}",
+            f"  repairs: {self.rows_used} spare-row, "
+            f"{self.cols_used} spare-col, "
+            f"{self.ecc_words} ECC-carried word(s)",
+            f"  overhead: area +{self.area_overhead * 100:.2f}%  "
+            f"delay +{self.delay_overhead * 100:.2f}%  "
+            f"energy +{self.energy_overhead * 100:.2f}%  "
+            f"leakage +{self.leakage_overhead * 100:.2f}%",
+        ]
+        if self.plan.ecc:
+            lines.append(f"  ECC logic: "
+                         f"{self.ecc_logic_area_um2:.3f} um^2 "
+                         f"encoder+corrector per bank")
+        for reason in self.unrepairable:
+            lines.append(f"  unrepairable: {reason}")
+        return "\n".join(lines)
+
+
+def analyze_yield(spec: BrickSpec, stack: int = 1, partitions: int = 1,
+                  n_bricks: int = 1000,
+                  model: Optional[DefectModel] = None,
+                  plan: Optional[RepairPlan] = None,
+                  session: Optional[Session] = None,
+                  tech=None, cache=None, seed=None) -> YieldReport:
+    """Monte-Carlo yield of a brick population under a repair plan.
+
+    The defect stream is ``session.rng(f"faults:{spec.name}:s{stack}")``:
+    a pure function of the master seed and the analyzed geometry, so
+    reruns (and parallel callers with the same session) agree exactly.
+    Raw and repaired yields score the *same* sampled population, which
+    guarantees repair can only help.
+    """
+    session = Session.ensure(session, tech=tech, cache=cache, seed=seed)
+    model = model or DefectModel()
+    plan = plan or RepairPlan()
+    if n_bricks < 1:
+        raise YieldError("population must be >= 1 brick")
+    bricks_per_bank = stack * partitions
+    rng = session.rng(f"faults:{spec.name}:s{stack}")
+
+    defect_counts: Dict[str, int] = {}
+    brick_raw: List[bool] = []
+    brick_repaired: List[bool] = []
+    rows_used = cols_used = ecc_words = 0
+    unrepairable: List[str] = []
+    for _ in range(n_bricks):
+        faulty = inject(spec, model, rng)
+        for defect in faulty.defects:
+            defect_counts[defect.kind] = \
+                defect_counts.get(defect.kind, 0) + 1
+        outcome: RepairOutcome = apply_repair(faulty, plan)
+        brick_raw.append(faulty.is_perfect)
+        brick_repaired.append(outcome.ok)
+        if outcome.ok:
+            rows_used += outcome.rows_used
+            cols_used += outcome.cols_used
+            ecc_words += outcome.ecc_words
+        elif len(unrepairable) < 3:
+            unrepairable.append(outcome.reason)
+
+    n_banks = max(1, n_bricks // bricks_per_bank)
+    raw_banks = repaired_banks = 0
+    for b in range(n_banks):
+        members = slice(b * bricks_per_bank, (b + 1) * bricks_per_bank)
+        raw_banks += all(brick_raw[members])
+        repaired_banks += all(brick_repaired[members])
+
+    nominal = cached_estimate(spec, session.tech, stack,
+                              cache=session.cache)
+    expanded = cached_estimate(repaired_spec(spec, plan), session.tech,
+                               stack, cache=session.cache)
+    ecc_area = _ecc_logic_area(spec.bits, session) if plan.ecc else 0.0
+    bank_area = nominal.area_um2 * stack
+    return YieldReport(
+        spec=spec, stack=stack, partitions=partitions,
+        n_bricks=n_bricks, n_banks=n_banks, seed=session.seed,
+        model=model, plan=plan,
+        defect_counts=defect_counts,
+        raw_yield=sum(brick_raw) / n_bricks,
+        repaired_yield=sum(brick_repaired) / n_bricks,
+        raw_bank_yield=raw_banks / n_banks,
+        repaired_bank_yield=repaired_banks / n_banks,
+        rows_used=rows_used, cols_used=cols_used, ecc_words=ecc_words,
+        unrepairable=tuple(unrepairable),
+        area_overhead=(expanded.area_um2 * stack + ecc_area)
+        / bank_area - 1.0,
+        delay_overhead=expanded.read_delay / nominal.read_delay - 1.0,
+        energy_overhead=expanded.read_energy / nominal.read_energy - 1.0,
+        leakage_overhead=expanded.leakage_w / nominal.leakage_w - 1.0,
+        ecc_logic_area_um2=ecc_area,
+    )

@@ -18,7 +18,10 @@ exploration of Fig. 4c.  This package makes repeated characterization
     :func:`parallel_map` — deterministic-order fan-out of independent
     characterization points over ``concurrent.futures``
     ``ProcessPoolExecutor`` with a serial fallback for ``jobs=1`` (and
-    for sandboxes that forbid multiprocessing primitives).
+    for sandboxes that forbid multiprocessing primitives), governed by
+    an :class:`ExecutorPolicy` (per-task timeout, bounded retry with
+    exponential backoff, crashed-worker recovery that re-executes only
+    the failed tasks serially).
 ``repro.perf.characterize``
     Cached + parallel entry points for the expensive brick artifacts:
     compiled bricks, closed-form estimates, library cell models,
@@ -45,7 +48,14 @@ from .characterize import (
     estimate_points,
 )
 from .fingerprint import KEY_SCHEMA_VERSION, cache_key, fingerprint
-from .parallel import parallel_map, resolve_jobs
+from .parallel import (
+    ExecutorPolicy,
+    TaskFailure,
+    default_executor_policy,
+    parallel_map,
+    resolve_jobs,
+    set_default_executor_policy,
+)
 from .timer import Stopwatch
 
 __all__ = [
@@ -55,6 +65,7 @@ __all__ = [
     "cached_measure_read", "cached_stdcell_library",
     "characterize_cells", "estimate_points",
     "KEY_SCHEMA_VERSION", "cache_key", "fingerprint",
-    "parallel_map", "resolve_jobs",
+    "ExecutorPolicy", "TaskFailure", "default_executor_policy",
+    "parallel_map", "resolve_jobs", "set_default_executor_policy",
     "Stopwatch",
 ]

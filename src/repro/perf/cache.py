@@ -8,12 +8,21 @@ Two tiers:
 * an optional **on-disk tier** (``cache_dir``) that persists artifacts
   across processes and sessions.  Entries live under a
   ``v<KEY_SCHEMA_VERSION>/`` subdirectory so a schema bump silently
-  orphans (never mis-reads) old entries, writes are atomic
-  (temp file + ``os.replace``), and a corrupted or truncated file is
-  treated as a miss — the directory is always safe to delete wholesale.
+  orphans (never mis-reads) old entries, payloads carry the schema
+  version in-band as a second guard, and writes are atomic
+  (temp file + ``os.replace``).  The directory is always safe to
+  delete wholesale.
 
-Statistics (hits per tier, misses, evictions, bytes moved) are kept per
-cache instance and exposed via :attr:`CharacterizationCache.stats`.
+A corrupted, truncated, wrong-schema or unreadable entry is
+**quarantined**, never silently tolerated: the bad file is moved aside
+into ``<cache_dir>/quarantine/`` (preserving the evidence for
+post-mortems), the :attr:`CacheStats.quarantined` counter increments,
+an optional ``on_quarantine`` hook fires, and the lookup proceeds as a
+miss so the value is recomputed and rewritten cleanly.
+
+Statistics (hits per tier, misses, evictions, quarantines, bytes moved)
+are kept per cache instance and exposed via
+:attr:`CharacterizationCache.stats`.
 """
 
 from __future__ import annotations
@@ -48,6 +57,7 @@ class CacheStats:
     puts: int = 0
     evictions: int = 0
     disk_errors: int = 0
+    quarantined: int = 0
     bytes_written: int = 0
     bytes_read: int = 0
 
@@ -71,6 +81,7 @@ class CacheStats:
             "puts": self.puts,
             "evictions": self.evictions,
             "disk_errors": self.disk_errors,
+            "quarantined": self.quarantined,
             "bytes_written": self.bytes_written,
             "bytes_read": self.bytes_read,
             "hit_rate": self.hit_rate,
@@ -88,13 +99,18 @@ class CharacterizationCache:
 
     def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES,
                  cache_dir: Optional[str] = None,
-                 enabled: bool = True) -> None:
+                 enabled: bool = True,
+                 on_quarantine: Optional[
+                     Callable[[str, str, str], None]] = None) -> None:
         if max_entries < 1:
             raise ValueError(
                 f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = max_entries
         self.cache_dir = os.fspath(cache_dir) if cache_dir else None
         self.enabled = enabled
+        #: Called as ``on_quarantine(key, quarantine_path, reason)``
+        #: whenever a bad disk entry is moved aside.
+        self.on_quarantine = on_quarantine
         self.stats = CacheStats()
         self._memory: "OrderedDict[str, Any]" = OrderedDict()
         self._lock = threading.Lock()
@@ -106,6 +122,38 @@ class CharacterizationCache:
         return os.path.join(self.cache_dir, f"v{KEY_SCHEMA_VERSION}",
                             f"{key}.pkl")
 
+    def _quarantine(self, key: str, path: str, reason: str) -> None:
+        """Move a bad entry aside (never silently tolerate corruption).
+
+        The file lands in ``<cache_dir>/quarantine/`` under a unique
+        name so repeated corruption of the same key never overwrites
+        earlier evidence; if the move itself fails the entry is deleted,
+        and if even that fails the entry is left for the next process
+        (it will re-quarantine).  Either way the lookup is a miss and
+        the value is recomputed.
+        """
+        self.stats.disk_errors += 1
+        self.stats.quarantined += 1
+        dest = ""
+        try:
+            qdir = os.path.join(self.cache_dir, "quarantine")
+            os.makedirs(qdir, exist_ok=True)
+            base = os.path.basename(path)
+            dest = os.path.join(qdir, base)
+            serial = 0
+            while os.path.exists(dest):
+                serial += 1
+                dest = os.path.join(qdir, f"{base}.{serial}")
+            os.replace(path, dest)
+        except OSError:
+            dest = ""
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+        if self.on_quarantine is not None:
+            self.on_quarantine(key, dest, reason)
+
     def _disk_read(self, key: str) -> Tuple[bool, Any]:
         if self.cache_dir is None:
             return False, None
@@ -113,27 +161,32 @@ class CharacterizationCache:
         try:
             with open(path, "rb") as handle:
                 blob = handle.read()
-            value = pickle.loads(blob)
+            envelope = pickle.loads(blob)
         except FileNotFoundError:
             return False, None
-        except Exception:
-            # Corrupted, truncated or unreadable entry: a miss, never a
-            # crash.  Drop the bad file so it is rewritten cleanly.
-            self.stats.disk_errors += 1
-            try:
-                os.remove(path)
-            except OSError:
-                pass
+        except Exception as exc:
+            # Corrupted, truncated or unreadable entry: quarantine it
+            # and treat the lookup as a miss, never a crash.
+            self._quarantine(key, path,
+                             f"{type(exc).__name__}: {exc}")
+            return False, None
+        # Payloads are written as (schema_version, value); anything else
+        # — including a raw pre-envelope value or a foreign version —
+        # is unsound to reuse and gets quarantined like corruption.
+        if (not isinstance(envelope, tuple) or len(envelope) != 2
+                or envelope[0] != KEY_SCHEMA_VERSION):
+            self._quarantine(key, path, "bad fingerprint schema version")
             return False, None
         self.stats.bytes_read += len(blob)
-        return True, value
+        return True, envelope[1]
 
     def _disk_write(self, key: str, value: Any) -> None:
         if self.cache_dir is None:
             return
         path = self._entry_path(key)
         try:
-            blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            blob = pickle.dumps((KEY_SCHEMA_VERSION, value),
+                                protocol=pickle.HIGHEST_PROTOCOL)
             os.makedirs(os.path.dirname(path), exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
                                        suffix=".tmp")

@@ -27,7 +27,7 @@ from ..liberty.models import CellModel, LibraryModel
 from ..tech.technology import Technology
 from .cache import CharacterizationCache, resolve_cache
 from .fingerprint import cache_key
-from .parallel import parallel_map
+from .parallel import TaskFailure, parallel_map
 
 # --- single-artifact memoizations ----------------------------------------
 
@@ -139,8 +139,16 @@ def _estimate_worker(task: Tuple[BrickSpec, int, Technology]
 
 def _batched(points: Sequence[Tuple[BrickSpec, int]], tech: Technology,
              kind: str, worker, jobs: int,
-             cache: Optional[CharacterizationCache]) -> List[Any]:
-    """Shared dedup → cache-probe → fan-out → reassemble skeleton."""
+             cache: Optional[CharacterizationCache],
+             keep_going: bool = False) -> List[Any]:
+    """Shared dedup → cache-probe → fan-out → reassemble skeleton.
+
+    With ``keep_going=True`` a point whose characterization fails (even
+    after the executor's retries) yields a
+    :class:`~repro.perf.parallel.TaskFailure` at its position instead of
+    raising; failures are never written to the cache, so a later retry
+    recomputes them.
+    """
     cache = resolve_cache(cache)
     keys = [cache_key(kind, spec, tech, stack) for spec, stack in points]
     results: Dict[str, Any] = {}
@@ -157,30 +165,36 @@ def _batched(points: Sequence[Tuple[BrickSpec, int]], tech: Technology,
             pending_keys.add(key)
     if pending:
         computed = parallel_map(worker, [task for _, task in pending],
-                                jobs=jobs)
+                                jobs=jobs, return_errors=keep_going)
         for (key, _), value in zip(pending, computed):
-            cache.put(key, value)
+            if not isinstance(value, TaskFailure):
+                cache.put(key, value)
             results[key] = value
     return [results[key] for key in keys]
 
 
 def characterize_cells(requests: Sequence[Tuple[BrickSpec, int]],
                        tech: Technology, jobs: int = 1,
-                       cache: Optional[CharacterizationCache] = None
-                       ) -> List[CellModel]:
+                       cache: Optional[CharacterizationCache] = None,
+                       keep_going: bool = False) -> List[CellModel]:
     """Library cell models for ``(spec, stack)`` requests, in order.
 
     Repeated requests are characterized exactly once; unique cold points
     are fanned out over ``jobs`` processes.
     """
     return _batched(requests, tech, "cellmodel", _cell_model_worker,
-                    jobs, cache)
+                    jobs, cache, keep_going=keep_going)
 
 
 def estimate_points(points: Sequence[Tuple[BrickSpec, int]],
                     tech: Technology, jobs: int = 1,
-                    cache: Optional[CharacterizationCache] = None
-                    ) -> List[BrickPerformance]:
-    """Closed-form estimates for ``(spec, stack)`` points, in order."""
+                    cache: Optional[CharacterizationCache] = None,
+                    keep_going: bool = False) -> List[BrickPerformance]:
+    """Closed-form estimates for ``(spec, stack)`` points, in order.
+
+    Under ``keep_going=True`` failed points come back as
+    :class:`~repro.perf.parallel.TaskFailure` placeholders so the caller
+    can skip-and-record them.
+    """
     return _batched(points, tech, "estimate", _estimate_worker,
-                    jobs, cache)
+                    jobs, cache, keep_going=keep_going)

@@ -1,40 +1,155 @@
-"""Deterministic parallel fan-out for independent characterization points.
+"""Deterministic, fault-tolerant parallel fan-out for characterization.
 
 Characterization points (one ``(spec, stack, tech)`` each) are pure
-functions of their inputs, so they parallelize embarrassingly.  The only
-subtlety is determinism: results must come back in task order regardless
-of worker scheduling, and ``jobs=1`` must take the plain serial path (no
-pool, no pickling) so single-threaded behavior is bit-for-bit what it
-always was.
+functions of their inputs, so they parallelize embarrassingly.  Two
+subtleties remain:
 
-``ProcessPoolExecutor.map`` already yields results in input order, which
-gives order determinism for free; the values themselves are bit-identical
-to serial because workers run the exact same pure-float code on the same
-inputs.  Sandboxed environments that forbid multiprocessing primitives
-(no ``/dev/shm``, no ``fork``) degrade to the serial path instead of
-crashing.
+* **Determinism** — results must come back in task order regardless of
+  worker scheduling, and ``jobs=1`` must take the plain serial path (no
+  pool, no pickling) so single-threaded behavior is bit-for-bit what it
+  always was.  Results are reassembled by task index, so any submission
+  or completion order yields the same list.
+* **Fault tolerance** — a production sweep must survive a crashed
+  worker (``BrokenProcessPool``), a hung task, or a flaky transient
+  failure.  :func:`parallel_map` therefore takes an
+  :class:`ExecutorPolicy` with a per-task timeout and a bounded retry
+  budget with exponential backoff; whatever still fails after the last
+  pool round is re-executed **serially in the parent process**, one
+  task at a time, so healthy tasks always complete and a deterministic
+  task error surfaces with its original traceback chained into an
+  :class:`~repro.errors.ExecutorError`.
+
+Degraded-serial path: sandboxed environments that forbid
+multiprocessing primitives (no ``/dev/shm``, no ``fork``) fall back to
+in-process execution instead of crashing — results are identical either
+way, only the wall clock differs.  The same serial path is the final
+recovery tier after pool failures.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Callable, List, Optional, Sequence, TypeVar
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, TypeVar
+
+from ..errors import ExecutorError
 
 T = TypeVar("T")
 R = TypeVar("R")
 
 
-def resolve_jobs(jobs: Optional[int]) -> int:
-    """Normalize a ``--jobs`` value: ``None``/``0`` mean "all cores"."""
+@dataclass(frozen=True)
+class ExecutorPolicy:
+    """Fault-tolerance knobs for one :func:`parallel_map` run.
+
+    ``task_timeout_s`` bounds how long the parent waits for any single
+    task's result before treating it as failed (``None`` = forever);
+    ``max_retries`` is how many *extra* pool rounds a failed task gets
+    before the serial fallback; ``backoff_s`` is the base of the
+    exponential sleep between rounds (round ``k`` sleeps
+    ``backoff_s * 2**k``).
+    """
+
+    task_timeout_s: Optional[float] = None
+    max_retries: int = 1
+    backoff_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.task_timeout_s is not None and self.task_timeout_s <= 0:
+            raise ExecutorError(
+                f"task timeout must be positive, got "
+                f"{self.task_timeout_s}")
+        if self.max_retries < 0:
+            raise ExecutorError(
+                f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_s < 0:
+            raise ExecutorError(
+                f"backoff_s must be >= 0, got {self.backoff_s}")
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """Terminal failure of one task (only under ``return_errors=True``).
+
+    Stands in for the missing result at the task's index so callers can
+    skip-and-record failed work while keeping every healthy result.
+    """
+
+    index: int
+    error: str
+    kind: str  # exception class name, "Timeout" or "BrokenPool"
+
+    def __bool__(self) -> bool:  # failures filter out like missing values
+        return False
+
+
+_default_policy = ExecutorPolicy()
+
+
+def set_default_executor_policy(policy: ExecutorPolicy) -> ExecutorPolicy:
+    """Install the process-wide policy (the CLI's ``--task-timeout`` /
+    ``--max-retries``); returns it for chaining."""
+    global _default_policy
+    _default_policy = policy
+    return _default_policy
+
+
+def default_executor_policy() -> ExecutorPolicy:
+    """The process-wide policy used when a call passes ``policy=None``."""
+    return _default_policy
+
+
+def resolve_jobs(jobs: Optional[int], n_tasks: Optional[int] = None) -> int:
+    """Normalize a ``--jobs`` value: ``None``/``0`` mean "all cores".
+
+    When ``n_tasks`` is given the result is additionally clamped to it
+    (never below 1): spawning more workers than tasks only pays pool
+    startup for processes that would exit idle, which dominates wall
+    clock for tiny batches.
+    """
     if jobs is None or jobs == 0:
-        return os.cpu_count() or 1
-    if jobs < 0:
+        jobs = os.cpu_count() or 1
+    elif jobs < 0:
         raise ValueError(f"jobs must be >= 0, got {jobs}")
+    if n_tasks is not None:
+        jobs = max(1, min(jobs, n_tasks))
     return jobs
 
 
+def _serial_round(fn: Callable[[T], R], tasks: Sequence[T],
+                  indices: Sequence[int], results: List[Any],
+                  return_errors: bool, wrap: bool) -> None:
+    """Run ``indices`` in-process, filling ``results`` in place.
+
+    Used both as the plain ``jobs=1`` path (``wrap=False``: exceptions
+    propagate untouched, bit-for-bit the historical behavior) and as the
+    last-resort recovery tier after pool rounds (``wrap=True``: the
+    original exception is chained into :class:`ExecutorError` so the
+    failure is attributed to the executor that exhausted its retries).
+    No timeout applies in-process — a task that deterministically hangs
+    cannot be preempted without a pool.
+    """
+    for index in indices:
+        try:
+            results[index] = fn(tasks[index])
+        except Exception as exc:
+            if return_errors:
+                results[index] = TaskFailure(
+                    index=index, error=str(exc),
+                    kind=type(exc).__name__)
+            elif wrap:
+                raise ExecutorError(
+                    f"task {index} failed after retries and serial "
+                    f"re-execution: {exc}") from exc
+            else:
+                raise
+
+
 def parallel_map(fn: Callable[[T], R], tasks: Sequence[T],
-                 jobs: int = 1) -> List[R]:
+                 jobs: int = 1,
+                 policy: Optional[ExecutorPolicy] = None,
+                 return_errors: bool = False) -> List[Any]:
     """``[fn(t) for t in tasks]`` fanned over ``jobs`` processes.
 
     Results are returned in task order.  ``fn`` and every task must be
@@ -42,15 +157,76 @@ def parallel_map(fn: Callable[[T], R], tasks: Sequence[T],
     serially in-process.  If the platform cannot start a process pool,
     the serial path is used as a silent fallback — results are identical
     either way, only the wall clock differs.
+
+    Failure handling is governed by ``policy`` (default: the
+    process-wide :func:`default_executor_policy`): a task whose worker
+    crashes, times out, or raises gets up to ``max_retries`` extra pool
+    rounds (exponential backoff between rounds, fresh pool after a
+    crash), and whatever still fails is re-executed serially in the
+    parent — so one poisoned task never discards its healthy siblings'
+    results.  A task that fails even serially raises
+    :class:`~repro.errors.ExecutorError` (chaining the original
+    exception) or, under ``return_errors=True``, yields a
+    :class:`TaskFailure` placeholder at its index so callers can
+    skip-and-record.
     """
-    jobs = resolve_jobs(jobs)
-    if jobs <= 1 or len(tasks) <= 1:
-        return [fn(task) for task in tasks]
+    policy = policy if policy is not None else _default_policy
+    n = len(tasks)
+    results: List[Any] = [None] * n
+    pending = list(range(n))
+    jobs = resolve_jobs(jobs, n_tasks=n)
+    if jobs <= 1 or n <= 1:
+        _serial_round(fn, tasks, pending, results, return_errors,
+                      wrap=False)
+        return results
     try:
-        from concurrent.futures import ProcessPoolExecutor
-        workers = min(jobs, len(tasks))
-        chunksize = max(1, len(tasks) // (4 * workers))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(fn, tasks, chunksize=chunksize))
-    except (OSError, PermissionError, ImportError, NotImplementedError):
-        return [fn(task) for task in tasks]
+        from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+        from concurrent.futures import TimeoutError as FutureTimeout
+    except ImportError:
+        _serial_round(fn, tasks, pending, results, return_errors,
+                      wrap=False)
+        return results
+
+    rounds = 1 + policy.max_retries
+    used_pool = False
+    for attempt in range(rounds):
+        if not pending:
+            break
+        if attempt > 0 and policy.backoff_s > 0:
+            time.sleep(policy.backoff_s * (2 ** (attempt - 1)))
+        workers = min(jobs, len(pending))
+        still_failed: List[int] = []
+        try:
+            pool = ProcessPoolExecutor(max_workers=workers)
+        except (OSError, PermissionError, NotImplementedError):
+            # No multiprocessing in this sandbox: degrade to serial.
+            break
+        used_pool = True
+        timed_out = False
+        try:
+            futures: Dict[int, Any] = {
+                index: pool.submit(fn, tasks[index])
+                for index in pending}
+            for index, future in futures.items():
+                try:
+                    results[index] = future.result(
+                        timeout=policy.task_timeout_s)
+                except FutureTimeout:
+                    timed_out = True
+                    future.cancel()
+                    still_failed.append(index)
+                except BrokenExecutor:
+                    # The pool died (worker crash / OOM kill): every
+                    # task without a result must be retried.
+                    still_failed.append(index)
+                except Exception:
+                    still_failed.append(index)
+        finally:
+            # A hung task would make a waiting shutdown block forever;
+            # abandon the pool instead (workers are reaped at exit).
+            pool.shutdown(wait=not timed_out, cancel_futures=True)
+        pending = still_failed
+    if pending:
+        _serial_round(fn, tasks, pending, results, return_errors,
+                      wrap=used_pool)
+    return results

@@ -22,6 +22,17 @@ from .components import (
     ripple_adder,
     xnor2,
     xor2,
+    xor_tree,
+)
+from .ecc import (
+    DecodeResult,
+    build_ecc_sram,
+    build_secded_decoder,
+    build_secded_encoder,
+    ecc_bank_config,
+    secded_decode,
+    secded_encode,
+    secded_parity_bits,
 )
 from .fifo import build_sorted_fifo, sorted_fifo_reference
 from .memory import build_cam, build_sram, fig3_sram
@@ -44,7 +55,10 @@ __all__ = [
     "and2", "and_tree", "buf", "decoder", "encode_onehot", "equals",
     "full_adder", "inv", "multiplier", "mux2", "mux_tree", "nand2",
     "nor2", "onehot_mux", "or2", "or_tree", "priority_encoder",
-    "register", "ripple_adder", "xnor2", "xor2",
+    "register", "ripple_adder", "xnor2", "xor2", "xor_tree",
+    "DecodeResult", "build_ecc_sram", "build_secded_decoder",
+    "build_secded_encoder", "ecc_bank_config", "secded_decode",
+    "secded_encode", "secded_parity_bits",
     "build_cam", "build_sram", "fig3_sram",
     "build_sorted_fifo", "sorted_fifo_reference",
     "CellRef", "FlatCell", "FlatNetlist", "Module", "ModuleRef", "Port",

@@ -124,6 +124,26 @@ def or_tree(m: Module, nets: Sequence[Net], prefix: str = "ort") -> Net:
     return nets[0]
 
 
+def xor_tree(m: Module, nets: Sequence[Net], prefix: str = "xort") -> Net:
+    """Balanced XOR (parity) reduction using XOR2 cells."""
+    nets = list(nets)
+    if not nets:
+        raise RTLError("xor_tree needs at least one input")
+    while len(nets) > 1:
+        next_level: List[Net] = []
+        i = 0
+        while i < len(nets):
+            group = nets[i:i + 2]
+            i += 2
+            if len(group) == 1:
+                next_level.append(group[0])
+            else:
+                next_level.append(
+                    xor2(m, group[0], group[1], prefix + "_x"))
+        nets = next_level
+    return nets[0]
+
+
 def decoder(m: Module, addr: Bus, en: Optional[Net] = None,
             prefix: str = "dec") -> Bus:
     """N-to-2^N one-hot decoder (the ``decoder_5to32`` of Fig. 3).

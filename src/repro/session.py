@@ -55,36 +55,69 @@ class StageEvent:
     detail: Dict[str, Any] = field(default_factory=dict)
 
 
-#: Anything callable with a :class:`StageEvent` can be a sink.
-EventSink = Callable[[StageEvent], None]
+@dataclass(frozen=True)
+class FaultEvent:
+    """One recovered (or recorded) failure inside a larger operation.
+
+    Where a :class:`StageEvent` with ``ok=False`` accompanies a raised
+    exception, a FaultEvent marks a failure the system *absorbed*: a
+    pipeline stage skipped under ``continue_on_error``, a sweep design
+    point recorded and skipped under ``keep_going``, a quarantined cache
+    entry.  ``domain`` names the subsystem (``pipeline``, ``sweep``,
+    ``cache``, ``executor``); ``recovered`` says whether healthy work
+    continued past it.
+    """
+
+    domain: str
+    name: str
+    error: str
+    index: int = -1
+    recovered: bool = True
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+
+#: Anything callable with a :class:`StageEvent` or :class:`FaultEvent`
+#: can be a sink.
+EventSink = Callable[[Any], None]
 
 
 class RecordingSink:
     """Sink that accumulates events in memory (tests, notebooks)."""
 
     def __init__(self) -> None:
-        self.events: List[StageEvent] = []
+        self.events: List[Any] = []
 
-    def __call__(self, event: StageEvent) -> None:
+    def __call__(self, event: Any) -> None:
         self.events.append(event)
 
     @property
     def stages(self) -> List[str]:
-        return [event.stage for event in self.events]
+        return [event.stage for event in self.events
+                if isinstance(event, StageEvent)]
+
+    @property
+    def faults(self) -> List[FaultEvent]:
+        return [event for event in self.events
+                if isinstance(event, FaultEvent)]
 
     def clear(self) -> None:
         self.events.clear()
 
 
 class PrintingSink:
-    """Sink that renders one line per stage (the CLI's --trace-stages)."""
+    """Sink that renders one line per event (the CLI's --trace-stages)."""
 
     def __init__(self, stream: Optional[TextIO] = None) -> None:
         self.stream = stream
 
-    def __call__(self, event: StageEvent) -> None:
+    def __call__(self, event: Any) -> None:
         import sys
         stream = self.stream if self.stream is not None else sys.stderr
+        if isinstance(event, FaultEvent):
+            print(f"[fault] {event.domain}:{event.name} "
+                  f"{'recovered' if event.recovered else 'fatal'}: "
+                  f"{event.error}", file=stream)
+            return
         status = "ok" if event.ok else f"FAILED: {event.error}"
         extra = "".join(f" {k}={v}" for k, v in event.detail.items())
         print(f"[stage {event.index}] {event.stage:<12s} "

@@ -17,8 +17,10 @@ configurations; the benchmark asserts exactly that.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from dataclasses import field as dataclass_field
 from typing import Dict, List, Optional, Sequence
 
+from ..errors import SiliconError
 from ..session import Session
 from ..tech.corners import BEST, WORST
 from ..tech.technology import Technology
@@ -38,10 +40,16 @@ class ChipMeasurement:
 
 @dataclass
 class ConfigMeasurements:
-    """All dies' measurements for one configuration."""
+    """All dies' measurements for one configuration.
+
+    ``dead_chips`` lists dies screened out by manufacturing defects
+    (wafer sort) before speed/power testing; aggregates cover the
+    surviving population only.
+    """
 
     config: str
     chips: List[ChipMeasurement]
+    dead_chips: List[int] = dataclass_field(default_factory=list)
 
     @property
     def mean_fmax(self) -> float:
@@ -80,9 +88,17 @@ def measure_chips(configs: Sequence[str],
                   anneal_moves: int = 2000,
                   jobs: Optional[int] = None,
                   cache=None,
+                  defect_model=None,
                   session: Optional[Session] = None
                   ) -> Dict[str, ConfigMeasurements]:
     """Emulate multi-chip measurement of the test-chip configurations.
+
+    With a :class:`~repro.faults.DefectModel` passed as
+    ``defect_model``, each die's brick population is first screened at
+    wafer sort: defects are sampled per die from the session master
+    seed, the default :class:`~repro.faults.RepairPlan` is applied, and
+    dies with an unrepairable brick are recorded in
+    :attr:`ConfigMeasurements.dead_chips` instead of being measured.
 
     Every die re-runs the full flow (library regeneration included) at
     its perturbed technology — dies are physical objects, and their
@@ -101,7 +117,23 @@ def measure_chips(configs: Sequence[str],
     results: Dict[str, ConfigMeasurements] = {}
     for config in configs:
         chips: List[ChipMeasurement] = []
+        dead: List[int] = []
+        if defect_model is not None:
+            from ..faults import RepairPlan, apply_repair, inject
+            from .testchip import config_bank
+            bank = config_bank(config)
+            plan = RepairPlan()
+            for sample in samples:
+                rng = session.rng(
+                    f"silicon:{config}:chip{sample.chip_id}")
+                for _ in range(bank.n_bricks):
+                    faulty = inject(bank.brick, defect_model, rng)
+                    if not apply_repair(faulty, plan).ok:
+                        dead.append(sample.chip_id)
+                        break
         for sample in samples:
+            if sample.chip_id in dead:
+                continue
             die_session = session.derive(tech=sample.apply(session.tech))
             flow = run_config_flow(config,
                                    anneal_moves=anneal_moves,
@@ -113,7 +145,12 @@ def measure_chips(configs: Sequence[str],
                 power_w=flow.power.total_w,
                 energy_per_cycle_j=flow.power.energy_per_cycle,
             ))
-        results[config] = ConfigMeasurements(config, chips)
+        if not chips:
+            raise SiliconError(
+                f"config {config}: every die failed wafer sort "
+                f"({len(dead)} dead)")
+        results[config] = ConfigMeasurements(config, chips,
+                                             dead_chips=dead)
     return results
 
 

@@ -7,6 +7,7 @@ from .flow import (
     FLOW_STAGE_NAMES,
     FlowResult,
     FlowState,
+    PartialFlowResult,
     prepare_libraries,
     run_flow,
 )
@@ -22,7 +23,7 @@ __all__ = [
     "ClockTree", "build_clock_tree",
     "Floorplan", "Placement", "build_floorplan",
     "FLOW_PIPELINE", "FLOW_STAGE_NAMES", "FlowResult", "FlowState",
-    "prepare_libraries", "run_flow",
+    "PartialFlowResult", "prepare_libraries", "run_flow",
     "resize_for_load", "synthesize_truth_table",
     "FlowStage", "Pipeline",
     "PlacedDesign", "place",

@@ -24,14 +24,14 @@ invoked through the legacy keyword signature or through a Session.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Union
 
 from ..errors import SynthesisError
 from ..liberty.models import LibraryModel
 from ..rtl.module import FlatNetlist, Module, elaborate
 from ..rtl.simulate import LogicSimulator
-from ..session import Session
+from ..session import FaultEvent, Session
 from ..tech.technology import Technology
 from .clock import ClockTree, build_clock_tree
 from .floorplan import Floorplan, build_floorplan
@@ -112,6 +112,62 @@ class FlowResult:
         if self.power is not None:
             result["power_w"] = self.power.total_w
             result["energy_per_cycle_j"] = self.power.energy_per_cycle
+        return result
+
+
+@dataclass
+class PartialFlowResult:
+    """What a ``continue_on_error`` flow run salvaged.
+
+    Carries every artifact the completed stages produced (the rest stay
+    ``None``), plus one :class:`~repro.session.FaultEvent` per failed
+    stage.  :attr:`complete` is True when nothing failed — then
+    :meth:`to_flow_result` upgrades to a plain :class:`FlowResult`;
+    otherwise it raises a :class:`~repro.errors.SynthesisError` naming
+    the failed stages.
+    """
+
+    state: "FlowState"
+    faults: List[FaultEvent] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        return not self.faults
+
+    @property
+    def failed_stages(self) -> List[str]:
+        return [fault.name for fault in self.faults]
+
+    @property
+    def completed_stages(self) -> List[str]:
+        return [name for name in FLOW_STAGE_NAMES
+                if name not in set(self.failed_stages)]
+
+    def to_flow_result(self) -> "FlowResult":
+        if not self.complete:
+            raise SynthesisError(
+                f"flow incomplete; failed stages: "
+                f"{', '.join(self.failed_stages)}")
+        return _result_from_state(self.state)
+
+    def summary(self) -> Dict[str, object]:
+        """Whatever metrics the surviving artifacts support."""
+        state = self.state
+        result: Dict[str, object] = {
+            "complete": self.complete,
+            "failed_stages": tuple(self.failed_stages),
+        }
+        if state.timing is not None:
+            result["fmax_hz"] = state.timing.fmax
+            result["min_period_s"] = state.timing.min_period
+        if state.floorplan is not None:
+            result["die_area_um2"] = state.floorplan.die_area
+        if state.parasitics is not None:
+            result["wirelength_um"] = \
+                state.parasitics.total_wirelength_um
+        if state.power is not None:
+            result["power_w"] = state.power.total_w
+            result["energy_per_cycle_j"] = state.power.energy_per_cycle
         return result
 
 
@@ -246,6 +302,19 @@ FLOW_PIPELINE = Pipeline([
 FLOW_STAGE_NAMES = FLOW_PIPELINE.stage_names
 
 
+def _result_from_state(state: FlowState) -> FlowResult:
+    return FlowResult(
+        netlist=state.netlist,
+        floorplan=state.floorplan,
+        placement=state.placement,
+        parasitics=state.parasitics,
+        timing=state.timing,
+        power=state.power,
+        resized_cells=state.resized_cells,
+        clock_tree=state.clock_tree,
+    )
+
+
 def run_flow(top: Module, library: LibraryModel,
              tech: Optional[Technology] = None,
              stimulus: Optional[Stimulus] = None,
@@ -254,7 +323,9 @@ def run_flow(top: Module, library: LibraryModel,
              anneal_moves: Optional[int] = None,
              resize: bool = True,
              seed: Optional[int] = None,
-             session: Optional[Session] = None) -> FlowResult:
+             continue_on_error: bool = False,
+             session: Optional[Session] = None
+             ) -> Union[FlowResult, PartialFlowResult]:
     """Run the full LiM synthesis flow on ``top``.
 
     ``library`` must contain both the standard cells and every brick
@@ -266,19 +337,19 @@ def run_flow(top: Module, library: LibraryModel,
     technology, master seed and event sink) or the legacy
     ``tech``/``seed`` keywords; both spellings produce identical results
     for the same technology and seed.
+
+    With ``continue_on_error=True`` a stage failure no longer raises:
+    the run always returns a :class:`PartialFlowResult` whose fault list
+    names every failed stage (each also emitted as a
+    :class:`~repro.session.FaultEvent` on the session sink), with every
+    artifact the healthy stages produced still attached.
     """
     session = Session.ensure(session, tech=tech, seed=seed)
     state = FlowState(top=top, library=library, stimulus=stimulus,
                       freq_hz=freq_hz, utilization=utilization,
                       anneal_moves=anneal_moves, resize=resize)
+    if continue_on_error:
+        state, faults = FLOW_PIPELINE.run_partial(session, state)
+        return PartialFlowResult(state=state, faults=faults)
     FLOW_PIPELINE.run(session, state)
-    return FlowResult(
-        netlist=state.netlist,
-        floorplan=state.floorplan,
-        placement=state.placement,
-        parasitics=state.parasitics,
-        timing=state.timing,
-        power=state.power,
-        resized_cells=state.resized_cells,
-        clock_tree=state.clock_tree,
-    )
+    return _result_from_state(state)

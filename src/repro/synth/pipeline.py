@@ -12,7 +12,12 @@ individually observable and reusable:
   :class:`~repro.session.StageEvent` per stage to the session's sink;
 * a stage failure is wrapped into a :class:`~repro.errors.SynthesisError`
   naming the failing stage (the original exception is chained), so a
-  flow error always says *where* in the pipeline it happened.
+  flow error always says *where* in the pipeline it happened;
+* :meth:`Pipeline.run_partial` is the fault-tolerant mode: a failed
+  stage is recorded as a :class:`~repro.session.FaultEvent` on the
+  session sink and the pipeline *continues*, so one bad stage (or one
+  bad design among many) yields a partial result plus a precise fault
+  log instead of discarding every healthy artifact.
 
 ``repro.synth.flow`` defines the concrete stages; this runner is
 deliberately generic so future pipelines (incremental re-runs, sharded
@@ -22,11 +27,11 @@ sweeps, tracing exporters) can reuse it unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import SessionError, SynthesisError
 from ..perf.timer import Stopwatch
-from ..session import Session, StageEvent
+from ..session import FaultEvent, Session, StageEvent
 
 #: A stage body receives ``(session, state)`` and mutates ``state``;
 #: it may return a detail dict that is attached to the stage's event.
@@ -86,3 +91,38 @@ class Pipeline:
                 wall_clock_s=watch.elapsed(), ok=True,
                 detail=detail or {}))
         return state
+
+    def run_partial(self, session: Session, state: Any
+                    ) -> Tuple[Any, List[FaultEvent]]:
+        """The ``continue_on_error`` mode: never raise on a stage fault.
+
+        Every stage is attempted in order; a failing stage emits a
+        failed :class:`StageEvent` *and* a :class:`FaultEvent` (both on
+        the session sink), is recorded in the returned fault list, and
+        the pipeline moves on — downstream stages missing a prerequisite
+        artifact simply record their own fault.  Returns
+        ``(state, faults)``; an empty fault list means the run was
+        complete and equivalent to :meth:`run`.
+        """
+        faults: List[FaultEvent] = []
+        for index, stage in enumerate(self.stages):
+            watch = Stopwatch()
+            try:
+                detail = stage.run(session, state)
+            except Exception as exc:
+                session.emit(StageEvent(
+                    stage=stage.name, index=index,
+                    wall_clock_s=watch.elapsed(), ok=False,
+                    error=str(exc)))
+                fault = FaultEvent(
+                    domain=f"pipeline:{self.name}", name=stage.name,
+                    index=index, error=f"{type(exc).__name__}: {exc}",
+                    recovered=True)
+                session.emit(fault)
+                faults.append(fault)
+                continue
+            session.emit(StageEvent(
+                stage=stage.name, index=index,
+                wall_clock_s=watch.elapsed(), ok=True,
+                detail=detail or {}))
+        return state, faults

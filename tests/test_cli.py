@@ -102,10 +102,13 @@ class TestCommands:
         assert "hub_dense" in out
 
     def test_error_path_returns_nonzero(self, capsys):
+        from repro.errors import BrickError, exit_code_for
         # 40 words is not a multiple of the 16-word brick.
         code = main(["sram", "--words", "40", "--bits", "8"])
-        assert code == 1
-        assert "error:" in capsys.readouterr().err
+        assert code == exit_code_for(BrickError("x")) != 0
+        err = capsys.readouterr().err
+        # The failure domain is named so scripts can triage on stderr.
+        assert "error: brick:" in err
 
     def test_sweep_with_jobs(self, capsys):
         assert main(["--jobs", "2", "sweep", "--total-words", "32",

@@ -1,0 +1,286 @@
+"""Execution-layer fault tolerance: executor, pipeline, sweep, CLI."""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.bricks import sram_brick
+from repro.errors import (
+    BrickError,
+    ExecutorError,
+    ExplorationError,
+    ReproError,
+    exit_code_for,
+    failure_domain,
+)
+from repro.perf import (
+    CharacterizationCache,
+    ExecutorPolicy,
+    TaskFailure,
+    default_executor_policy,
+    parallel_map,
+    resolve_jobs,
+    set_default_executor_policy,
+)
+from repro.session import FaultEvent, RecordingSink, Session
+from repro.tech import cmos65
+
+_PARENT_PID = os.getpid()
+_FAST = ExecutorPolicy(max_retries=1, backoff_s=0.0)
+
+
+def _fail_on_two(x):
+    if x == 2:
+        raise ValueError(f"bad value {x}")
+    return x * 10
+
+
+def _crash_pool_in_child(x):
+    # Dies only inside a pool worker; the parent-process serial
+    # fallback computes the real answer.
+    if os.getpid() != _PARENT_PID:
+        os._exit(13)
+    return x + 100
+
+
+def _hang_in_child(x):
+    if os.getpid() != _PARENT_PID:
+        time.sleep(3.0)
+    return x - 1
+
+
+class TestResolveJobs:
+    def test_clamps_to_task_count(self):
+        assert resolve_jobs(8, n_tasks=3) == 3
+        assert resolve_jobs(2, n_tasks=10) == 2
+        assert resolve_jobs(0, n_tasks=2) <= 2
+        assert resolve_jobs(4, n_tasks=0) == 1  # never below 1
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-2)
+
+
+class TestExecutorPolicy:
+    def test_validation(self):
+        with pytest.raises(ExecutorError):
+            ExecutorPolicy(task_timeout_s=0.0)
+        with pytest.raises(ExecutorError):
+            ExecutorPolicy(max_retries=-1)
+        with pytest.raises(ExecutorError):
+            ExecutorPolicy(backoff_s=-0.1)
+
+    def test_process_default_is_swappable(self):
+        original = default_executor_policy()
+        try:
+            mine = ExecutorPolicy(max_retries=3)
+            assert set_default_executor_policy(mine) is mine
+            assert default_executor_policy() is mine
+        finally:
+            set_default_executor_policy(original)
+
+
+class TestParallelMapFaults:
+    def test_serial_path_raises_original_exception(self):
+        # jobs=1 keeps the historical contract: the task's own error
+        # type propagates, not an ExecutorError wrapper.
+        with pytest.raises(ValueError):
+            parallel_map(_fail_on_two, [1, 2, 3], jobs=1)
+
+    def test_pool_failure_wraps_in_executor_error(self):
+        with pytest.raises(ExecutorError) as excinfo:
+            parallel_map(_fail_on_two, [1, 2, 3], jobs=2, policy=_FAST)
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+    def test_return_errors_yields_placeholders(self):
+        results = parallel_map(_fail_on_two, [1, 2, 3], jobs=2,
+                               policy=_FAST, return_errors=True)
+        assert results[0] == 10 and results[2] == 30
+        failure = results[1]
+        assert isinstance(failure, TaskFailure)
+        assert not failure  # falsy, filters out like a missing value
+        assert failure.index == 1 and failure.kind == "ValueError"
+
+    def test_serial_return_errors(self):
+        results = parallel_map(_fail_on_two, [1, 2, 3], jobs=1,
+                               return_errors=True)
+        assert isinstance(results[1], TaskFailure)
+        assert results[0] == 10 and results[2] == 30
+
+    def test_broken_pool_recovers_serially(self):
+        """Acceptance: a crashing worker never loses healthy results."""
+        results = parallel_map(_crash_pool_in_child, [1, 2, 3], jobs=2,
+                               policy=_FAST)
+        assert results == [101, 102, 103]
+
+    def test_task_timeout_recovers_serially(self):
+        policy = ExecutorPolicy(task_timeout_s=0.25, max_retries=0)
+        results = parallel_map(_hang_in_child, [5, 6], jobs=2,
+                               policy=policy)
+        assert results == [4, 5]
+
+
+class TestPipelinePartial:
+    def _pipeline(self):
+        from repro.synth.pipeline import FlowStage, Pipeline
+
+        def ok_a(session, state):
+            state["a"] = 1
+
+        def boom(session, state):
+            raise BrickError("stage exploded")
+
+        def ok_b(session, state):
+            state["b"] = 2
+
+        return Pipeline([FlowStage("a", ok_a), FlowStage("boom", boom),
+                         FlowStage("b", ok_b)], name="toy")
+
+    def test_run_partial_continues_past_fault(self, tech):
+        sink = RecordingSink()
+        session = Session(tech, sink=sink)
+        state, faults = self._pipeline().run_partial(session, {})
+        assert state == {"a": 1, "b": 2}
+        assert [f.name for f in faults] == ["boom"]
+        assert faults[0].domain == "pipeline:toy"
+        assert "BrickError" in faults[0].error
+        # The sink saw both the failed StageEvent and the FaultEvent.
+        from repro.session import StageEvent
+        assert sink.faults == faults
+        assert [e.stage for e in sink.events
+                if isinstance(e, StageEvent) and not e.ok] == ["boom"]
+
+    def test_run_still_raises_without_flag(self, tech):
+        from repro.errors import SynthesisError
+        with pytest.raises(SynthesisError, match="boom"):
+            self._pipeline().run(Session(tech), {})
+
+    def test_run_flow_continue_on_error_healthy(self, tech, stdlib):
+        from repro.bricks import single_partition
+        from repro.rtl import build_sram
+        from repro.synth import PartialFlowResult, prepare_libraries, \
+            run_flow
+        session = Session(tech, seed=2015,
+                          cache=CharacterizationCache(cache_dir=None))
+        config = single_partition(sram_brick(16, 8), 16)
+        library = prepare_libraries([(config.brick, config.stack)],
+                                    session=session)
+        partial = run_flow(build_sram(config), library,
+                           anneal_moves=50,
+                           continue_on_error=True, session=session)
+        assert isinstance(partial, PartialFlowResult)
+        assert partial.complete and not partial.faults
+        assert partial.to_flow_result().timing is not None
+
+
+from repro.perf.characterize import _estimate_worker as _real_estimate
+
+
+def _estimate_worker_boom(task):
+    spec, stack, tech = task
+    if spec.words == 32:
+        raise BrickError("injected failure")
+    return _real_estimate(task)
+
+
+class TestSweepKeepGoing:
+    def _session(self, sink=None):
+        return Session(cmos65(), seed=2015, sink=sink,
+                       cache=CharacterizationCache(cache_dir=None))
+
+    def test_failed_point_skipped_and_recorded(self, monkeypatch):
+        from repro.explore import sweep_partitions
+        from repro.perf import characterize
+        monkeypatch.setattr(characterize, "_estimate_worker",
+                            _estimate_worker_boom)
+        sink = RecordingSink()
+        result = sweep_partitions(total_words_options=(64,),
+                                  bits_options=(8,),
+                                  brick_words_options=(16, 32, 64),
+                                  keep_going=True,
+                                  session=self._session(sink))
+        assert len(result.points) == 2
+        assert len(result.failures) == 1
+        failed = result.failures[0]
+        assert failed.brick_words == 32
+        assert "injected failure" in failed.error
+        fault_events = [e for e in sink.events
+                        if isinstance(e, FaultEvent)]
+        assert [f.domain for f in fault_events] == ["sweep"]
+
+    def test_without_keep_going_raises(self, monkeypatch):
+        from repro.explore import sweep_partitions
+        from repro.perf import characterize
+        monkeypatch.setattr(characterize, "_estimate_worker",
+                            _estimate_worker_boom)
+        with pytest.raises(BrickError):
+            sweep_partitions(total_words_options=(64,),
+                             bits_options=(8,),
+                             brick_words_options=(16, 32, 64),
+                             session=self._session())
+
+    def test_all_points_failed_raises(self, monkeypatch):
+        from repro.explore import sweep_partitions
+        from repro.perf import characterize
+
+        def _always_boom(task):
+            raise BrickError("nothing works")
+
+        monkeypatch.setattr(characterize, "_estimate_worker",
+                            _always_boom)
+        with pytest.raises(ExplorationError, match="every sweep point"):
+            sweep_partitions(total_words_options=(64,),
+                             bits_options=(8,),
+                             brick_words_options=(16, 32),
+                             keep_going=True,
+                             session=self._session())
+
+
+class TestExitCodes:
+    def test_every_domain_gets_a_distinct_code(self):
+        from repro.errors import EXIT_CODES
+        codes = [code for _, code in EXIT_CODES]
+        assert len(codes) == len(set(codes))
+        assert all(code not in (0, 1, 2) for code in codes)
+
+    def test_exit_code_lookup(self):
+        assert exit_code_for(BrickError("x")) == 18
+        assert exit_code_for(ExecutorError("x")) == 29
+        assert exit_code_for(ReproError("generic")) == 1
+        assert failure_domain(BrickError("x")) == "brick"
+        assert failure_domain(ExecutorError("x")) == "executor"
+
+    def test_cli_faults_subcommand_deterministic(self, capsys):
+        from repro.cli import main
+        argv = ["--no-cache", "faults", "--words", "32", "--bits", "16",
+                "--stack", "2", "--population", "200", "--ecc",
+                "--seed", "7"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert "yield report" in first
+        assert "repair plan: 2R/1C+SECDED" in first
+
+    def test_cli_brick_yield_flag(self, capsys):
+        from repro.cli import main
+        assert main(["--no-cache", "brick", "--words", "16", "--bits",
+                     "8", "--yield", "--population", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "brick yield" in out
+
+    def test_cli_executor_flags_install_policy(self):
+        from repro.cli import main
+        original = default_executor_policy()
+        try:
+            assert main(["--no-cache", "--max-retries", "3",
+                         "--task-timeout", "2.5", "brick"]) == 0
+            policy = default_executor_policy()
+            assert policy.max_retries == 3
+            assert policy.task_timeout_s == 2.5
+        finally:
+            set_default_executor_policy(original)

@@ -1,0 +1,296 @@
+"""Defect injection, SEC-DED ECC, repair allocation and yield analysis."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.bricks import sram_brick
+from repro.errors import FaultError, YieldError
+from repro.faults import (
+    Defect,
+    DefectModel,
+    RepairPlan,
+    analyze_yield,
+    apply_repair,
+    inject,
+    repaired_spec,
+)
+from repro.faults.defects import (
+    OPEN_VIA,
+    STUCK_AT_0,
+    STUCK_AT_1,
+    WEAK_SENSE,
+    WORDLINE_BRIDGE,
+    FaultyBrick,
+)
+from repro.perf import CharacterizationCache
+from repro.rtl import (
+    LogicSimulator,
+    Module,
+    as_bus,
+    build_secded_decoder,
+    build_secded_encoder,
+    ecc_bank_config,
+    elaborate,
+    secded_decode,
+    secded_encode,
+    secded_parity_bits,
+)
+from repro.session import Session
+
+#: A hot defect model so small populations exercise every mechanism.
+HOT = DefectModel(p_stuck_at=2e-3, p_wordline_bridge=2e-3,
+                  p_weak_sense=5e-3, p_open_via=2e-3)
+
+
+@pytest.fixture
+def session(tech):
+    return Session(tech, seed=2015,
+                   cache=CharacterizationCache(cache_dir=None))
+
+
+class TestDefectSampling:
+    def test_deterministic_in_rng_stream(self):
+        spec = sram_brick(32, 16)
+        a = HOT.sample(spec, random.Random("s"))
+        b = HOT.sample(spec, random.Random("s"))
+        assert a == b
+        c = HOT.sample(spec, random.Random("t"))
+        assert a != c or not a  # independent stream
+
+    def test_inject_wraps_sampled_defects(self):
+        spec = sram_brick(32, 16)
+        brick = inject(spec, HOT, random.Random("x"))
+        assert brick.spec is spec
+        assert brick.defects == HOT.sample(spec, random.Random("x"))
+
+    def test_defects_land_inside_geometry(self):
+        spec = sram_brick(16, 8)
+        rng = random.Random(7)
+        for _ in range(200):
+            for d in HOT.sample(spec, rng):
+                if d.kind in (STUCK_AT_0, STUCK_AT_1):
+                    assert 0 <= d.row < spec.words
+                    assert 0 <= d.bit < spec.bits
+                elif d.kind == WORDLINE_BRIDGE:
+                    assert 0 <= d.row < spec.words - 1
+                else:
+                    assert 0 <= d.bit < spec.bits
+
+    def test_bridge_kills_both_rows(self):
+        brick = FaultyBrick(sram_brick(16, 8),
+                            (Defect(WORDLINE_BRIDGE, row=5),))
+        assert brick.dead_rows == frozenset({5, 6})
+
+    def test_weak_sense_derates_read_path(self, tech):
+        brick = FaultyBrick(sram_brick(16, 8),
+                            (Defect(WEAK_SENSE, bit=3),))
+        model = DefectModel(weak_sense_derate=1.5)
+        assert brick.delay_derate(model) == 1.5
+        perturbed = brick.perturbed_tech(tech, model)
+        assert perturbed.r_on_n == pytest.approx(tech.r_on_n * 1.5)
+        perfect = FaultyBrick(sram_brick(16, 8), ())
+        assert perfect.perturbed_tech(tech, model) is tech
+
+    def test_rate_validation(self):
+        with pytest.raises(FaultError):
+            DefectModel(p_stuck_at=1.5)
+        with pytest.raises(FaultError):
+            DefectModel(weak_sense_derate=0.5)
+        with pytest.raises(FaultError):
+            Defect("gamma_ray", row=1)
+
+
+class TestSecded:
+    def test_check_bit_count(self):
+        # Classic Hamming sizes: 4->3, 8->4, 16->5, 32->6 (+1 overall).
+        assert secded_parity_bits(4) == 4
+        assert secded_parity_bits(8) == 5
+        assert secded_parity_bits(16) == 6
+        assert secded_parity_bits(32) == 7
+
+    @pytest.mark.parametrize("width", [4, 8, 11])
+    def test_corrects_all_single_flips(self, width):
+        rng = random.Random(width)
+        data = [rng.randrange(2) for _ in range(width)]
+        code = data + list(secded_encode(data))
+        assert secded_decode(code[:width], code[width:]).status == "ok"
+        for i in range(len(code)):
+            bad = list(code)
+            bad[i] ^= 1
+            res = secded_decode(bad[:width], bad[width:])
+            assert res.corrected and list(res.data) == data
+
+    @pytest.mark.parametrize("width", [4, 8])
+    def test_detects_all_double_flips(self, width):
+        rng = random.Random(width)
+        data = [rng.randrange(2) for _ in range(width)]
+        code = data + list(secded_encode(data))
+        for i, j in itertools.combinations(range(len(code)), 2):
+            bad = list(code)
+            bad[i] ^= 1
+            bad[j] ^= 1
+            res = secded_decode(bad[:width], bad[width:])
+            assert res.uncorrectable
+
+    def test_structural_matches_reference(self, stdlib):
+        width = 8
+        r1 = secded_parity_bits(width)
+        top = Module("tb")
+        top.input("clk")
+        d = as_bus(top.input("d", width))
+        c = as_bus(top.input("c", r1))
+        cq = as_bus(top.output("cq", r1))
+        q = as_bus(top.output("q", width))
+        err = top.output("err")
+        ded = top.output("ded")
+        top.instance("e0", build_secded_encoder(width), {"d": d, "c": cq})
+        top.instance("d0", build_secded_decoder(width),
+                     {"d": d, "c": c, "q": q, "err": err, "ded": ded})
+        sim = LogicSimulator(elaborate(top, stdlib))
+        rng = random.Random(99)
+        for _ in range(40):
+            data = [rng.randrange(2) for _ in range(width)]
+            code = data + list(secded_encode(data))
+            for flip in rng.sample(range(len(code)),
+                                   rng.choice([0, 1, 1, 2])):
+                code[flip] ^= 1
+            sim.set_input("d", sum(b << i for i, b in
+                                   enumerate(code[:width])))
+            sim.set_input("c", sum(b << i for i, b in
+                                   enumerate(code[width:])))
+            sim.settle()
+            ref = secded_decode(code[:width], code[width:])
+            assert sim.get_output("cq") == sum(
+                b << i for i, b in enumerate(secded_encode(code[:width])))
+            assert sim.get_output("q") == sum(
+                b << i for i, b in enumerate(ref.data))
+            assert bool(sim.get_output("err")) == (ref.status != "ok")
+            assert bool(sim.get_output("ded")) == ref.uncorrectable
+
+    def test_ecc_bank_config_widens_words(self):
+        from repro.bricks import single_partition
+        config = single_partition(sram_brick(16, 8), 32)
+        wide = ecc_bank_config(config)
+        assert wide.bits == 8 + secded_parity_bits(8)
+        assert wide.words == config.words
+        assert wide.stack == config.stack
+
+
+class TestRepair:
+    def test_perfect_brick_needs_nothing(self):
+        outcome = apply_repair(FaultyBrick(sram_brick(16, 8), ()),
+                               RepairPlan())
+        assert outcome.ok
+        assert (outcome.rows_used, outcome.cols_used,
+                outcome.ecc_words) == (0, 0, 0)
+
+    def test_bad_columns_use_spares_then_fail(self):
+        spec = sram_brick(16, 8)
+        one_bad = FaultyBrick(spec, (Defect(OPEN_VIA, bit=2),))
+        assert apply_repair(one_bad, RepairPlan(spare_cols=1)).ok
+        two_bad = FaultyBrick(spec, (Defect(OPEN_VIA, bit=2),
+                                     Defect(WEAK_SENSE, bit=5)))
+        outcome = apply_repair(two_bad, RepairPlan(spare_cols=1))
+        assert not outcome.ok
+        assert "column" in outcome.reason
+
+    def test_stuck_cell_in_replaced_column_is_free(self):
+        spec = sram_brick(16, 8)
+        brick = FaultyBrick(spec, (Defect(OPEN_VIA, bit=2),
+                                   Defect(STUCK_AT_1, row=3, bit=2)))
+        outcome = apply_repair(brick,
+                               RepairPlan(spare_rows=0, spare_cols=1))
+        assert outcome.ok and outcome.rows_used == 0
+
+    def test_ecc_absorbs_single_stuck_bit_per_word(self):
+        spec = sram_brick(16, 8)
+        brick = FaultyBrick(spec, (Defect(STUCK_AT_0, row=3, bit=1),
+                                   Defect(STUCK_AT_1, row=9, bit=6)))
+        without = apply_repair(brick, RepairPlan(spare_rows=1,
+                                                 spare_cols=0))
+        assert not without.ok  # two bad rows, one spare
+        with_ecc = apply_repair(brick, RepairPlan(spare_rows=1,
+                                                  spare_cols=0,
+                                                  ecc=True))
+        assert with_ecc.ok and with_ecc.ecc_words == 2
+        # Two stuck bits in ONE word exceed SEC and need the spare row.
+        double = FaultyBrick(spec, (Defect(STUCK_AT_0, row=3, bit=1),
+                                    Defect(STUCK_AT_1, row=3, bit=6)))
+        outcome = apply_repair(double, RepairPlan(spare_rows=1,
+                                                  spare_cols=0,
+                                                  ecc=True))
+        assert outcome.ok and outcome.rows_used == 1
+
+    def test_repaired_spec_geometry(self):
+        spec = sram_brick(16, 8)
+        plan = RepairPlan(spare_rows=2, spare_cols=1, ecc=True)
+        grown = repaired_spec(spec, plan)
+        assert grown.words == 18
+        assert grown.bits == 8 + 1 + secded_parity_bits(8)
+        assert grown.memory_type == spec.memory_type
+        with pytest.raises(YieldError):
+            RepairPlan(spare_rows=-1)
+
+
+class TestYieldAnalysis:
+    def test_same_seed_byte_identical_report(self, session):
+        spec = sram_brick(32, 16)
+        kwargs = dict(stack=4, n_bricks=300, model=HOT,
+                      plan=RepairPlan(spare_rows=2, spare_cols=2,
+                                      ecc=True))
+        first = analyze_yield(spec, session=session, **kwargs)
+        second = analyze_yield(spec, session=session, **kwargs)
+        assert first.render() == second.render()
+        assert first.as_dict() == second.as_dict()
+
+    def test_different_seed_different_population(self, session):
+        spec = sram_brick(32, 16)
+        other = session.derive(seed=7)
+        a = analyze_yield(spec, n_bricks=300, model=HOT, session=session)
+        b = analyze_yield(spec, n_bricks=300, model=HOT, session=other)
+        assert a.defect_counts != b.defect_counts or \
+            a.raw_yield != b.raw_yield
+
+    def test_repair_strictly_improves_with_overhead(self, session):
+        """Acceptance: repair improves yield on a seeded population
+        while reporting nonzero area overhead."""
+        report = analyze_yield(sram_brick(32, 16), stack=4,
+                               n_bricks=400, model=HOT,
+                               plan=RepairPlan(spare_rows=2,
+                                               spare_cols=2, ecc=True),
+                               session=session)
+        assert report.raw_yield < 1.0  # the model actually bites
+        assert report.repaired_yield > report.raw_yield
+        assert report.repaired_bank_yield >= report.raw_bank_yield
+        assert report.area_overhead > 0.0
+        assert report.ecc_logic_area_um2 > 0.0
+
+    def test_bank_yield_never_exceeds_brick_yield(self, session):
+        report = analyze_yield(sram_brick(32, 16), stack=4,
+                               n_bricks=400, model=HOT,
+                               session=session)
+        assert report.raw_bank_yield <= report.raw_yield
+        assert report.repaired_bank_yield <= report.repaired_yield
+
+    def test_population_validation(self, session):
+        with pytest.raises(YieldError):
+            analyze_yield(sram_brick(16, 8), n_bricks=0,
+                          session=session)
+
+
+class TestWaferSort:
+    def test_dead_chips_excluded_from_measurement(self, session):
+        from repro.silicon import measure_chips
+        lethal = DefectModel(p_stuck_at=0.02, p_wordline_bridge=0.02,
+                             p_weak_sense=0.02, p_open_via=0.02)
+        measured = measure_chips(["A"], n_chips=4, anneal_moves=50,
+                                 defect_model=lethal, session=session)
+        config = measured["A"]
+        assert config.dead_chips  # a model this hot must kill dies
+        assert len(config.chips) + len(config.dead_chips) == 4
+        alive = {c.chip_id for c in config.chips}
+        assert alive.isdisjoint(config.dead_chips)

@@ -175,6 +175,82 @@ class TestDiskTier:
         assert cache.stats.memory_hits == 1
 
 
+class TestQuarantine:
+    """Bad disk entries are moved aside, reported, and recomputed."""
+
+    def _seed_entry(self, tmp_path, key="badkey", value=(1, 2, 3)):
+        cache = CharacterizationCache(cache_dir=str(tmp_path))
+        cache.put(key, value)
+        return tmp_path / f"v{KEY_SCHEMA_VERSION}" / f"{key}.pkl"
+
+    def test_truncated_pickle_quarantined_and_recomputed(self, tmp_path):
+        entry = self._seed_entry(tmp_path)
+        entry.write_bytes(entry.read_bytes()[:7])
+        events = []
+        fresh = CharacterizationCache(
+            cache_dir=str(tmp_path),
+            on_quarantine=lambda key, dest, reason:
+            events.append((key, dest, reason)))
+        assert fresh.get_or_compute("badkey", lambda: "fresh") == "fresh"
+        assert fresh.stats.quarantined == 1
+        (key, dest, reason), = events
+        assert key == "badkey"
+        # Evidence preserved for post-mortems.
+        assert os.path.dirname(dest).endswith("quarantine")
+        assert os.path.exists(dest)
+        # The recomputed value was written back cleanly.
+        assert CharacterizationCache(
+            cache_dir=str(tmp_path)).get("badkey") == (True, "fresh")
+
+    def test_bad_fingerprint_version_quarantined(self, tmp_path):
+        entry = self._seed_entry(tmp_path)
+        # Forge a well-formed pickle carrying a foreign schema version.
+        entry.write_bytes(
+            pickle.dumps((KEY_SCHEMA_VERSION + 1, "stale value")))
+        events = []
+        fresh = CharacterizationCache(
+            cache_dir=str(tmp_path),
+            on_quarantine=lambda key, dest, reason:
+            events.append(reason))
+        found, _ = fresh.get("badkey")
+        assert not found
+        assert fresh.stats.quarantined == 1
+        assert events == ["bad fingerprint schema version"]
+        assert not entry.exists()
+
+    def test_unreadable_entry_quarantined(self, tmp_path, monkeypatch):
+        entry = self._seed_entry(tmp_path)
+        # chmod 000 is not enough under root, so deny at the syscall
+        # boundary: reads of this entry raise PermissionError.
+        import builtins
+        real_open = builtins.open
+
+        def denying_open(path, *args, **kwargs):
+            if os.fspath(path) == str(entry):
+                raise PermissionError(13, "Permission denied",
+                                      str(entry))
+            return real_open(path, *args, **kwargs)
+
+        from repro.perf import cache as cache_module
+        monkeypatch.setattr(cache_module, "open", denying_open,
+                            raising=False)
+        fresh = CharacterizationCache(cache_dir=str(tmp_path))
+        assert fresh.get_or_compute("badkey", lambda: 42) == 42
+        assert fresh.stats.quarantined == 1
+        assert fresh.stats.disk_errors >= 1
+
+    def test_quarantine_names_never_collide(self, tmp_path):
+        entry = self._seed_entry(tmp_path)
+        for round_ in range(3):
+            entry.write_bytes(b"garbage %d" % round_)
+            fresh = CharacterizationCache(cache_dir=str(tmp_path))
+            assert fresh.get("badkey") == (False, None)
+            fresh.put("badkey", round_)  # rewrite for the next round
+        quarantined = sorted(
+            p.name for p in (tmp_path / "quarantine").iterdir())
+        assert len(quarantined) == 3  # all three kept as evidence
+
+
 class TestCachedArtifacts:
     def test_cached_compile_identical(self, tech):
         cache = CharacterizationCache()
