@@ -12,6 +12,10 @@ import pytest
 from bench_util import emit_bench_json, print_table
 from repro.bricks import generate_brick_library, sram_brick
 from repro.explore import pareto_front
+from repro.obs.export import span_record
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import stage_breakdown
+from repro.obs.trace import Tracer
 from repro.perf import CharacterizationCache
 from repro.units import PJ, PS
 
@@ -121,8 +125,16 @@ def test_fig4c_cold_vs_warm_cache_json(benchmark, session):
     paper's 9-brick sweep, emitted as BENCH_fig4c.json.
 
     Acceptance floor for the characterization cache: warm >= 5x faster
-    than cold (in practice it is orders of magnitude)."""
-    cold_session = session.derive(cache=CharacterizationCache())
+    than cold (in practice it is orders of magnitude).
+
+    The artifact also carries the run's unified metrics snapshot
+    (cache/executor/counter state) and the per-stage timing breakdown
+    aggregated from the trace spans, so the JSON answers not just "how
+    fast" but "where the time went"."""
+    tracer = Tracer()
+    cold_session = session.derive(cache=CharacterizationCache(),
+                                  tracer=tracer,
+                                  metrics=MetricsRegistry())
 
     def run():
         return cold_session.sweep_partitions()
@@ -132,6 +144,12 @@ def test_fig4c_cold_vs_warm_cache_json(benchmark, session):
                key=lambda r: r.wall_clock_s)
     n = len(cold.points)
     speedup = cold.wall_clock_s / warm.wall_clock_s
+    tracer.validate()
+    records = [span_record(span) for span in tracer.spans]
+    breakdown = [
+        {"stage": name, "calls": calls,
+         "total_s": total, "percent": pct}
+        for name, calls, total, pct in stage_breakdown(records)]
     emit_bench_json("fig4c", {
         "n_points": n,
         "cold_wall_clock_s": cold.wall_clock_s,
@@ -141,6 +159,8 @@ def test_fig4c_cold_vs_warm_cache_json(benchmark, session):
         "warm_points_per_s": n / warm.wall_clock_s,
         "paper_claim_s": 2.0,
         "within_paper_claim": cold.wall_clock_s < 2.0,
+        "stage_breakdown": breakdown,
+        "metrics": cold_session.metrics_snapshot(),
     })
     assert cold.wall_clock_s < 2.0
     assert speedup >= 5.0, (

@@ -165,6 +165,7 @@ def generate_brick_library(
     """
     if not requests:
         raise LibraryError("empty brick library request")
+    from ..obs.trace import maybe_span
     from ..perf.characterize import characterize_cells
     from ..perf.timer import Stopwatch
     from ..session import Session
@@ -172,8 +173,12 @@ def generate_brick_library(
     watch = Stopwatch()
     library = LibraryModel(name=f"{name}_{session.tech.name}",
                            tech_name=session.tech.name)
-    for cell in characterize_cells(requests, session.tech,
-                                   jobs=session.jobs,
-                                   cache=session.cache):
-        library.add(cell)
+    with maybe_span(session.tracer, f"brick_library:{name}",
+                    kind="library", n_requests=len(requests)):
+        for cell in characterize_cells(requests, session.tech,
+                                       jobs=session.jobs,
+                                       cache=session.cache,
+                                       tracer=session.tracer,
+                                       sink=session.sink):
+            library.add(cell)
     return library, watch.elapsed()

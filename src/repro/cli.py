@@ -19,11 +19,19 @@ the process-wide cache configured by ``--cache-dir``/``--no-cache``;
 the session is passed down through every layer instead of loose
 keyword arguments.  ``--trace-stages`` attaches a printing event sink
 so each pipeline stage reports its wall clock on stderr.
+
+Observability (``repro.obs``) rides on the same session: every
+subcommand accepts ``--trace-out FILE`` (hierarchical span trace as
+JSONL), ``--metrics`` (unified cache/executor/stage snapshot on
+stderr at exit) and ``--profile-out DIR`` (cProfile dump per pipeline
+stage), and ``repro report TRACE`` renders a saved trace as the
+per-stage time table / Chrome trace / timing-stripped canonical form.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
@@ -40,10 +48,21 @@ from .cells import make_stdcell_library
 from .errors import ReproError, exit_code_for, failure_domain
 from .explore import pareto_front, sweep_partitions
 from .liberty import write_liberty
+from .obs.export import (
+    read_trace_jsonl,
+    strip_timing,
+    write_chrome_trace,
+    write_trace_jsonl,
+)
+from .obs.metrics import MetricsRegistry, collect_snapshot, render_snapshot
+from .obs.report import render_report
+from .obs.trace import Tracer, maybe_span
 from .perf import (
     ExecutorPolicy,
     configure_default_cache,
     default_cache,
+    executor_stats,
+    reset_executor_stats,
     set_default_executor_policy,
 )
 from .rtl import build_sram, emit_hierarchy
@@ -65,7 +84,10 @@ def _session(args) -> Session:
         return args._session
     sink = PrintingSink() if args.trace_stages else None
     return Session(by_name(args.tech), jobs=args.jobs,
-                   seed=getattr(args, "seed", DEFAULT_SEED), sink=sink)
+                   seed=getattr(args, "seed", DEFAULT_SEED), sink=sink,
+                   tracer=getattr(args, "_tracer", None),
+                   metrics=getattr(args, "_metrics", None),
+                   profile_dir=getattr(args, "profile_out", None))
 
 
 def _parse_brick_token(token: str) -> tuple:
@@ -263,6 +285,22 @@ def cmd_testchip(args) -> int:
     return 0
 
 
+def cmd_report(args) -> int:
+    """Render a saved JSONL trace (table, Chrome trace, or canonical)."""
+    records = read_trace_jsonl(args.trace)
+    if args.chrome:
+        write_chrome_trace(records, args.chrome)
+        print(f"wrote {args.chrome}")
+    if args.strip_timing:
+        # Canonical timing-stripped form: what the CI traced-flow job
+        # diffs byte-for-byte between two same-seed runs.
+        for record in records:
+            print(json.dumps(strip_timing(record), sort_keys=True))
+        return 0
+    print(render_report(records, title=f"run report: {args.trace}"))
+    return 0
+
+
 def _jobs_count(text: str) -> int:
     try:
         value = int(text)
@@ -313,6 +351,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--keep-going", action="store_true",
                         help="skip-and-report failed design points "
                              "instead of aborting (sweep)")
+    # Observability flags are accepted by every subcommand (a parent
+    # parser, so they work after the subcommand name where they read
+    # naturally: ``repro sram --trace-out t.jsonl --metrics``).
+    obs = argparse.ArgumentParser(add_help=False)
+    obs.add_argument("--trace-out", default=None, metavar="FILE",
+                     help="write the hierarchical span trace as JSONL")
+    obs.add_argument("--metrics", action="store_true",
+                     help="print the unified metrics snapshot "
+                          "(cache/executor/counters/timings) on exit")
+    obs.add_argument("--profile-out", default=None, metavar="DIR",
+                     help="dump one cProfile .prof per pipeline stage "
+                          "into DIR")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def _yield_args(p, with_partitions=False):
@@ -328,7 +378,8 @@ def build_parser() -> argparse.ArgumentParser:
         if with_partitions:
             p.add_argument("--partitions", type=int, default=1)
 
-    p = sub.add_parser("brick", help="compile and estimate one brick")
+    p = sub.add_parser("brick", parents=[obs],
+                       help="compile and estimate one brick")
     p.add_argument("--type", default="8T",
                    choices=["6T", "8T", "CAM", "EDRAM", "DP"])
     p.add_argument("--words", type=int, default=16)
@@ -339,7 +390,7 @@ def build_parser() -> argparse.ArgumentParser:
     _yield_args(p)
     p.set_defaults(func=cmd_brick)
 
-    p = sub.add_parser("faults",
+    p = sub.add_parser("faults", parents=[obs],
                        help="defect injection and yield-after-repair "
                             "analysis of one brick population")
     p.add_argument("--type", default="8T",
@@ -350,7 +401,7 @@ def build_parser() -> argparse.ArgumentParser:
     _yield_args(p, with_partitions=True)
     p.set_defaults(func=cmd_faults)
 
-    p = sub.add_parser("library",
+    p = sub.add_parser("library", parents=[obs],
                        help="generate a brick library (.lib)")
     p.add_argument("bricks", nargs="+",
                    help="brick specs as WORDSxBITS[xSTACK]")
@@ -359,7 +410,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--include-stdcells", action="store_true")
     p.set_defaults(func=cmd_library)
 
-    p = sub.add_parser("sram", help="synthesize an SRAM from bricks")
+    p = sub.add_parser("sram", parents=[obs],
+                       help="synthesize an SRAM from bricks")
     p.add_argument("--words", type=int, default=32)
     p.add_argument("--bits", type=int, default=10)
     p.add_argument("--brick-words", type=int, default=16)
@@ -376,7 +428,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verilog", help="write structural Verilog here")
     p.set_defaults(func=cmd_sram)
 
-    p = sub.add_parser("sweep", help="design-space exploration")
+    p = sub.add_parser("sweep", parents=[obs],
+                       help="design-space exploration")
     p.add_argument("--total-words", type=int, default=128)
     p.add_argument("--bits", type=int, nargs="+",
                    default=[8, 16, 32])
@@ -385,20 +438,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--type", default="8T")
     p.set_defaults(func=cmd_sweep)
 
-    p = sub.add_parser("spgemm",
+    p = sub.add_parser("spgemm", parents=[obs],
                        help="LiM CAM chip vs heap baseline (Fig. 6)")
     p.add_argument("--scale", default="small",
                    choices=["tiny", "small", "medium"])
     p.add_argument("--dram", action="store_true")
     p.set_defaults(func=cmd_spgemm)
 
-    p = sub.add_parser("testchip",
+    p = sub.add_parser("testchip", parents=[obs],
                        help="Fig. 4b chip-measurement emulation")
     p.add_argument("--configs", nargs="+", default=["A", "B", "C"],
                    choices=["A", "B", "C", "D", "E"])
     p.add_argument("--chips", type=int, default=3)
     p.add_argument("--anneal", type=int, default=1000)
     p.set_defaults(func=cmd_testchip)
+
+    p = sub.add_parser("report",
+                       help="render a saved --trace-out JSONL trace")
+    p.add_argument("trace", help="trace file written by --trace-out")
+    p.add_argument("--chrome", metavar="FILE",
+                   help="also convert to Chrome trace-event JSON "
+                        "(load in Perfetto / chrome://tracing)")
+    p.add_argument("--strip-timing", action="store_true",
+                   help="print the canonical timing-stripped JSONL "
+                        "instead of the report (CI diffs this)")
+    p.set_defaults(func=cmd_report)
     return parser
 
 
@@ -413,30 +477,47 @@ def main(argv: Optional[Sequence[str]] = None,
     parser = build_parser()
     args = parser.parse_args(argv)
     args._session = session
+    tracer = Tracer() if getattr(args, "trace_out", None) else None
+    metrics = (MetricsRegistry()
+               if getattr(args, "metrics", False) else None)
+    args._tracer = tracer
+    args._metrics = metrics
     configure_default_cache(cache_dir=args.cache_dir,
                             enabled=not args.no_cache)
+    # Fresh executor counters per invocation (like the cache stats), so
+    # a --metrics snapshot covers exactly this run even when main() is
+    # called repeatedly in-process.
+    reset_executor_stats()
     set_default_executor_policy(ExecutorPolicy(
         task_timeout_s=args.task_timeout,
         max_retries=args.max_retries))
     try:
-        return args.func(args)
+        with maybe_span(tracer, f"cli:{args.command}", kind="command",
+                        tech=args.tech):
+            return args.func(args)
     except ReproError as exc:
         # One exit code per failure domain (see repro.errors.EXIT_CODES)
         # so scripts can triage without parsing the message.
         print(f"error: {failure_domain(exc)}: {exc}", file=sys.stderr)
         return exit_code_for(exc)
     finally:
-        if args.cache_stats:
-            stats = default_cache().stats
-            print(f"cache: {stats.hits} hits "
-                  f"({stats.memory_hits} memory, {stats.disk_hits} "
-                  f"disk), {stats.misses} misses, "
-                  f"{stats.bytes_written} bytes written, "
-                  f"{stats.bytes_read} bytes read", file=sys.stderr)
-            if stats.quarantined:
-                print(f"cache: {stats.quarantined} corrupt entr"
-                      f"{'y' if stats.quarantined == 1 else 'ies'} "
-                      f"quarantined", file=sys.stderr)
+        # One snapshot serves --metrics, --cache-stats and the trace's
+        # embedded metrics record, so every surface agrees.
+        snapshot = None
+        if tracer is not None or metrics is not None or args.cache_stats:
+            snapshot = collect_snapshot(metrics, default_cache().stats,
+                                        executor_stats())
+        if tracer is not None:
+            write_trace_jsonl(tracer.spans, args.trace_out,
+                              metrics=snapshot)
+            print(f"wrote trace {args.trace_out}", file=sys.stderr)
+        if metrics is not None:
+            rendered = render_snapshot(snapshot)
+            if rendered:
+                print(rendered, file=sys.stderr)
+        elif args.cache_stats:
+            print(render_snapshot(snapshot, sections=("cache",)),
+                  file=sys.stderr)
 
 
 if __name__ == "__main__":

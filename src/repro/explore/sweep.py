@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..bricks.spec import BrickSpec
 from ..errors import ExplorationError
+from ..obs.trace import maybe_span
 from ..perf.characterize import estimate_points
 from ..perf.parallel import TaskFailure
 from ..perf.timer import Stopwatch
@@ -144,35 +145,63 @@ def sweep_partitions(tech: Optional[Technology] = None,
         raise ExplorationError("sweep produced no points")
     tasks = [(BrickSpec(memory_type, brick_words, bits), stack)
              for bits, brick_words, _, stack in grid]
-    estimates = estimate_points(tasks, session.tech, jobs=session.jobs,
-                                cache=session.cache,
-                                keep_going=keep_going)
-    points: List[SweepPoint] = []
-    failures: List[FailedPoint] = []
-    for (bits, brick_words, total_words, stack), est in zip(grid,
-                                                            estimates):
-        if isinstance(est, TaskFailure):
-            failed = FailedPoint(
-                total_words=total_words, bits=bits,
-                brick_words=brick_words, stack=stack,
-                error=f"{est.kind}: {est.error}")
-            failures.append(failed)
-            session.emit(FaultEvent(
-                domain="sweep", name=failed.label,
-                index=len(points) + len(failures) - 1,
-                error=failed.error, recovered=True))
-            continue
-        points.append(SweepPoint(
-            total_words=total_words,
-            bits=bits,
-            brick_words=brick_words,
-            stack=stack,
-            read_delay=est.read_delay,
-            read_energy=est.read_energy,
-            write_energy=est.write_energy,
-            area_um2=est.area_um2,
-            leakage_w=est.leakage_w,
-        ))
+    with maybe_span(session.tracer, "sweep_partitions", kind="sweep",
+                    n_points=len(grid),
+                    memory_type=memory_type) as sweep_span:
+        estimates = estimate_points(tasks, session.tech,
+                                    jobs=session.jobs,
+                                    cache=session.cache,
+                                    keep_going=keep_going,
+                                    tracer=session.tracer,
+                                    sink=session.sink)
+        points: List[SweepPoint] = []
+        failures: List[FailedPoint] = []
+        for (bits, brick_words, total_words, stack), est in zip(
+                grid, estimates):
+            spec_label = (f"{total_words}x{bits}b/"
+                          f"{brick_words}w")
+            if isinstance(est, TaskFailure):
+                failed = FailedPoint(
+                    total_words=total_words, bits=bits,
+                    brick_words=brick_words, stack=stack,
+                    error=f"{est.kind}: {est.error}")
+                failures.append(failed)
+                if session.tracer is not None:
+                    pspan = session.tracer.open(
+                        spec_label, kind="sweep_point", bits=bits,
+                        brick_words=brick_words, stack=stack)
+                    session.tracer.close(pspan, ok=False,
+                                         error=failed.error)
+                session.emit(FaultEvent(
+                    domain="sweep", name=failed.label,
+                    index=len(points) + len(failures) - 1,
+                    error=failed.error, recovered=True))
+                continue
+            with maybe_span(session.tracer, spec_label,
+                            kind="sweep_point", bits=bits,
+                            brick_words=brick_words, stack=stack,
+                            read_delay=est.read_delay,
+                            area_um2=est.area_um2):
+                pass
+            points.append(SweepPoint(
+                total_words=total_words,
+                bits=bits,
+                brick_words=brick_words,
+                stack=stack,
+                read_delay=est.read_delay,
+                read_energy=est.read_energy,
+                write_energy=est.write_energy,
+                area_um2=est.area_um2,
+                leakage_w=est.leakage_w,
+            ))
+        if sweep_span is not None:
+            sweep_span.attrs.update(evaluated=len(points),
+                                    skipped=len(failures))
+    if session.metrics is not None:
+        session.metrics.counter(
+            "explore.sweep.points_evaluated").inc(len(points))
+        session.metrics.counter(
+            "explore.sweep.points_skipped").inc(len(failures))
     if not points:
         raise ExplorationError(
             f"every sweep point failed "

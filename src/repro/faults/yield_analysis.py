@@ -158,33 +158,43 @@ def analyze_yield(spec: BrickSpec, stack: int = 1, partitions: int = 1,
     brick_repaired: List[bool] = []
     rows_used = cols_used = ecc_words = 0
     unrepairable: List[str] = []
-    for _ in range(n_bricks):
-        faulty = inject(spec, model, rng)
-        for defect in faulty.defects:
-            defect_counts[defect.kind] = \
-                defect_counts.get(defect.kind, 0) + 1
-        outcome: RepairOutcome = apply_repair(faulty, plan)
-        brick_raw.append(faulty.is_perfect)
-        brick_repaired.append(outcome.ok)
-        if outcome.ok:
-            rows_used += outcome.rows_used
-            cols_used += outcome.cols_used
-            ecc_words += outcome.ecc_words
-        elif len(unrepairable) < 3:
-            unrepairable.append(outcome.reason)
+    with session.span(f"yield:{spec.name}", kind="phase",
+                      stack=stack, n_bricks=n_bricks):
+        with session.span("sample_population", kind="phase",
+                          n_bricks=n_bricks):
+            for _ in range(n_bricks):
+                faulty = inject(spec, model, rng)
+                for defect in faulty.defects:
+                    defect_counts[defect.kind] = \
+                        defect_counts.get(defect.kind, 0) + 1
+                outcome: RepairOutcome = apply_repair(faulty, plan)
+                brick_raw.append(faulty.is_perfect)
+                brick_repaired.append(outcome.ok)
+                if outcome.ok:
+                    rows_used += outcome.rows_used
+                    cols_used += outcome.cols_used
+                    ecc_words += outcome.ecc_words
+                elif len(unrepairable) < 3:
+                    unrepairable.append(outcome.reason)
 
-    n_banks = max(1, n_bricks // bricks_per_bank)
-    raw_banks = repaired_banks = 0
-    for b in range(n_banks):
-        members = slice(b * bricks_per_bank, (b + 1) * bricks_per_bank)
-        raw_banks += all(brick_raw[members])
-        repaired_banks += all(brick_repaired[members])
+        with session.span("bank_rollup", kind="phase"):
+            n_banks = max(1, n_bricks // bricks_per_bank)
+            raw_banks = repaired_banks = 0
+            for b in range(n_banks):
+                members = slice(b * bricks_per_bank,
+                                (b + 1) * bricks_per_bank)
+                raw_banks += all(brick_raw[members])
+                repaired_banks += all(brick_repaired[members])
 
-    nominal = cached_estimate(spec, session.tech, stack,
-                              cache=session.cache)
-    expanded = cached_estimate(repaired_spec(spec, plan), session.tech,
-                               stack, cache=session.cache)
-    ecc_area = _ecc_logic_area(spec.bits, session) if plan.ecc else 0.0
+        with session.span("price_overheads", kind="phase",
+                          ecc=plan.ecc):
+            nominal = cached_estimate(spec, session.tech, stack,
+                                      cache=session.cache)
+            expanded = cached_estimate(repaired_spec(spec, plan),
+                                       session.tech, stack,
+                                       cache=session.cache)
+            ecc_area = (_ecc_logic_area(spec.bits, session)
+                        if plan.ecc else 0.0)
     bank_area = nominal.area_um2 * stack
     return YieldReport(
         spec=spec, stack=stack, partitions=partitions,

@@ -1,0 +1,164 @@
+"""Trace exporters: JSONL span logs and Chrome trace-event JSON.
+
+The JSONL format is the repo's durable trace artifact: one JSON object
+per line, ``{"type": "span", ...}`` records in span-id order followed
+by an optional ``{"type": "metrics", ...}`` record carrying the run's
+metrics snapshot.  Keys are sorted and floats emitted by ``json`` so a
+record is a pure function of its values — combined with the tracer's
+deterministic ids, two runs at the same seed differ *only* in the
+``t_start_s``/``dur_s`` fields, which :func:`strip_timing` removes for
+byte-identical CI diffs.
+
+The Chrome trace-event export produces the ``traceEvents`` JSON that
+Perfetto (https://ui.perfetto.dev) and ``chrome://tracing`` load
+directly: complete events (``"ph": "X"``) with microsecond timestamps,
+one row per span, span kinds as categories.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..errors import ReproError
+from .trace import Span
+
+#: Fields that carry wall clocks — the only run-to-run nondeterminism.
+TIMING_FIELDS = ("t_start_s", "dur_s")
+
+
+def span_record(span: Span) -> Dict[str, Any]:
+    """The JSONL dict for one closed span."""
+    return {
+        "type": "span",
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "name": span.name,
+        "kind": span.kind,
+        "attrs": span.attrs,
+        "t_start_s": span.t_start_s,
+        "dur_s": span.dur_s if span.dur_s is not None else 0.0,
+        "ok": span.ok,
+        "error": span.error,
+    }
+
+
+def strip_timing(record: Dict[str, Any]) -> Dict[str, Any]:
+    """A copy of ``record`` with every wall-clock field removed.
+
+    Span records lose :data:`TIMING_FIELDS`; a metrics record loses its
+    histogram timing fields (counts are kept — they are deterministic).
+    """
+    stripped = {key: value for key, value in record.items()
+                if key not in TIMING_FIELDS}
+    if record.get("type") == "metrics":
+        histograms = stripped.get("metrics", {}).get("histograms")
+        if histograms:
+            stripped = json.loads(json.dumps(stripped))  # deep copy
+            for hist in stripped["metrics"]["histograms"].values():
+                for key in [k for k in hist if k.endswith("_s")]:
+                    del hist[key]
+    return stripped
+
+
+def trace_lines(spans: Sequence[Span],
+                metrics: Optional[Dict[str, Any]] = None,
+                strip: bool = False) -> List[str]:
+    """The JSONL lines for a trace, in deterministic order."""
+    records: List[Dict[str, Any]] = [
+        span_record(span)
+        for span in sorted(spans, key=lambda s: s.span_id)]
+    if metrics is not None:
+        records.append({"type": "metrics", "metrics": metrics})
+    if strip:
+        records = [strip_timing(record) for record in records]
+    return [json.dumps(record, sort_keys=True) for record in records]
+
+
+def write_trace_jsonl(spans: Sequence[Span], path: str,
+                      metrics: Optional[Dict[str, Any]] = None) -> str:
+    """Write the JSONL span log (plus optional metrics record)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for line in trace_lines(spans, metrics=metrics):
+            handle.write(line + "\n")
+    return path
+
+
+def read_trace_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Parse a JSONL trace back into records, validating the span tree.
+
+    Every span record must carry a unique ``span_id`` and reference an
+    existing parent; violations raise :class:`~repro.errors.ReproError`
+    so a truncated or hand-edited trace fails loudly.
+    """
+    records: List[Dict[str, Any]] = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError as exc:
+                    raise ReproError(
+                        f"{path}:{lineno}: invalid JSON: {exc}") from exc
+    except OSError as exc:
+        raise ReproError(f"cannot read trace {path!r}: {exc}") from exc
+    ids = set()
+    for record in records:
+        if record.get("type") != "span":
+            continue
+        span_id = record.get("span_id")
+        if span_id in ids:
+            raise ReproError(
+                f"{path}: duplicate span id {span_id}")
+        ids.add(span_id)
+    for record in records:
+        if record.get("type") != "span":
+            continue
+        parent = record.get("parent_id")
+        if parent is not None and parent not in ids:
+            raise ReproError(
+                f"{path}: span {record['span_id']} references "
+                f"unknown parent {parent}")
+    return records
+
+
+def chrome_trace(records: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Chrome trace-event JSON from parsed span records.
+
+    Viewable in Perfetto or ``chrome://tracing``; spans become complete
+    ("X") events on one process/thread track with kinds as categories.
+    """
+    events: List[Dict[str, Any]] = []
+    for record in records:
+        if record.get("type") != "span":
+            continue
+        args = dict(record.get("attrs") or {})
+        args["span_id"] = record["span_id"]
+        if record.get("parent_id") is not None:
+            args["parent_id"] = record["parent_id"]
+        if record.get("error"):
+            args["error"] = record["error"]
+        events.append({
+            "name": record["name"],
+            "cat": record.get("kind", "span"),
+            "ph": "X",
+            "ts": record.get("t_start_s", 0.0) * 1e6,
+            "dur": (record.get("dur_s") or 0.0) * 1e6,
+            "pid": 1,
+            "tid": 1,
+            "args": args,
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(records: Sequence[Dict[str, Any]],
+                       path: str) -> str:
+    """Write the Perfetto-loadable Chrome trace JSON for ``records``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(records), handle, indent=1,
+                  sort_keys=True)
+        handle.write("\n")
+    return path

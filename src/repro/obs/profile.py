@@ -1,0 +1,48 @@
+"""Opt-in cProfile capture around pipeline stages.
+
+``repro --profile-out DIR sram ...`` wraps every pipeline stage body in
+a :class:`cProfile.Profile` and dumps one ``.prof`` file per stage
+execution into ``DIR`` — loadable with ``python -m pstats`` or
+snakeviz.  Files are numbered by a process-wide sequence so repeated
+flows (per-die measurement, corner simulation) never overwrite each
+other's captures.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+_sequence = 0
+
+
+def next_profile_path(directory: str, label: str) -> str:
+    """A unique ``DIR/NNN_label.prof`` path (process-wide sequence)."""
+    global _sequence
+    _sequence += 1
+    safe = "".join(ch if ch.isalnum() or ch in "-_." else "_"
+                   for ch in label)
+    return os.path.join(directory, f"{_sequence:04d}_{safe}.prof")
+
+
+@contextmanager
+def maybe_profile(directory: Optional[str],
+                  label: str) -> Iterator[None]:
+    """Profile the with-block into ``directory`` when one is given.
+
+    With ``directory=None`` this is a zero-overhead no-op, which is how
+    every call site stays unconditional.
+    """
+    if not directory:
+        yield
+        return
+    os.makedirs(directory, exist_ok=True)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        profiler.dump_stats(next_profile_path(directory, label))

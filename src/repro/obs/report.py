@@ -1,0 +1,109 @@
+"""Human-readable run reports rendered from a trace.
+
+:func:`render_report` is what ``repro report t.jsonl`` prints: a
+per-stage wall-clock table with percentages (summing to ~100%), the
+cache hit ratio, and the executor retry summary — the three numbers the
+paper's "regenerates in seconds" claim rests on.  It consumes the
+parsed JSONL records of :func:`repro.obs.export.read_trace_jsonl`, so
+a report can be rendered from a live tracer or from a trace file saved
+weeks ago.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+
+def stage_breakdown(records: Sequence[Dict[str, Any]],
+                    kind: str = "stage"
+                    ) -> List[Tuple[str, int, float, float]]:
+    """``(name, calls, total_s, percent)`` rows for one span kind.
+
+    Falls back to aggregating over *every* span kind when the trace has
+    no spans of ``kind`` (e.g. a sweep trace with no synthesis stages),
+    grouping by ``kind:name`` so the report is never empty for a
+    non-empty trace.  Percentages are of the summed row time.
+    """
+    rows: List[Tuple[str, int, float]] = []
+    index: Dict[str, int] = {}
+
+    def add(label: str, dur: float) -> None:
+        if label not in index:
+            index[label] = len(rows)
+            rows.append((label, 0, 0.0))
+        name, calls, total = rows[index[label]]
+        rows[index[label]] = (name, calls + 1, total + dur)
+
+    spans = [r for r in records if r.get("type") == "span"]
+    staged = [r for r in spans if r.get("kind") == kind]
+    if staged:
+        for record in staged:
+            add(record["name"], record.get("dur_s") or 0.0)
+    else:
+        for record in spans:
+            add(f"{record.get('kind', 'span')}:{record['name']}",
+                record.get("dur_s") or 0.0)
+    grand = sum(total for _, _, total in rows)
+    return [(name, calls, total,
+             100.0 * total / grand if grand > 0 else 0.0)
+            for name, calls, total in rows]
+
+
+def _table(rows: List[Tuple[str, int, float, float]]) -> List[str]:
+    width = max([len(name) for name, _, _, _ in rows] + [len("stage")])
+    lines = [f"  {'stage'.ljust(width)} {'calls':>5s} "
+             f"{'time':>10s} {'share':>7s}"]
+    lines.append("  " + "-" * (width + 25))
+    total_s = 0.0
+    total_calls = 0
+    for name, calls, total, pct in rows:
+        total_s += total
+        total_calls += calls
+        lines.append(f"  {name.ljust(width)} {calls:>5d} "
+                     f"{total * 1e3:>8.2f}ms {pct:>6.1f}%")
+    lines.append("  " + "-" * (width + 25))
+    lines.append(f"  {'total'.ljust(width)} {total_calls:>5d} "
+                 f"{total_s * 1e3:>8.2f}ms {100.0:>6.1f}%")
+    return lines
+
+
+def render_report(records: Sequence[Dict[str, Any]],
+                  title: str = "run report") -> str:
+    """The full human-readable run report for a parsed trace."""
+    lines = [title, "=" * len(title)]
+    spans = [r for r in records if r.get("type") == "span"]
+    failed = [r for r in spans if not r.get("ok", True)]
+    lines.append(f"spans: {len(spans)} recorded, {len(failed)} failed")
+    rows = stage_breakdown(records)
+    if rows:
+        lines.append("")
+        lines.extend(_table(rows))
+    metrics = _metrics_record(records)
+    if metrics is not None:
+        cache = metrics.get("cache")
+        if cache is not None:
+            hits = cache["memory_hits"] + cache["disk_hits"]
+            lookups = hits + cache["misses"]
+            lines.append("")
+            lines.append(
+                f"cache: {hits}/{lookups} hits "
+                f"({cache['hit_rate'] * 100:.1f}%), "
+                f"{cache['quarantined']} quarantined")
+        executor = metrics.get("executor")
+        if executor is not None:
+            lines.append(
+                f"executor: {executor['tasks']} tasks, "
+                f"{executor['retried_tasks']} retried, "
+                f"{executor['timeouts']} timeouts, "
+                f"{executor['pool_restarts']} pool restarts")
+    for record in failed:
+        lines.append(f"failed: {record['name']}: {record.get('error')}")
+    return "\n".join(lines)
+
+
+def _metrics_record(records: Sequence[Dict[str, Any]]
+                    ) -> Optional[Dict[str, Any]]:
+    for record in records:
+        if record.get("type") == "metrics":
+            return record.get("metrics")
+    return None

@@ -1,0 +1,226 @@
+"""Hierarchical tracing: spans over every observable unit of work.
+
+A :class:`Span` is one timed, attributed unit of work — a pipeline
+stage, a brick characterization batch, a parallel task group, a cache
+probe, a sweep point, a yield-analysis phase, a die measurement.  The
+:class:`Tracer` maintains the open-span stack, assigns deterministic
+sequential ids (parents always precede children), and retains every
+closed span for export.
+
+Determinism is a design invariant, not an accident: span ids are
+allocated in open order, which is a pure function of the control flow,
+and the *only* nondeterministic fields of a span are its two wall-clock
+fields (``t_start_s``, ``dur_s``).  Stripping those two fields from an
+exported trace therefore yields a byte-identical artifact across runs
+at the same seed — the property the CI traced-flow job diffs.
+
+Closed spans are also delivered to the session event sink as
+:class:`SpanEvent` records, the same protocol that carries
+:class:`~repro.session.StageEvent` and :class:`~repro.session.FaultEvent`,
+so a :class:`~repro.session.RecordingSink` sees the full interleaved
+stream without any new plumbing.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+#: Span kinds used across the codebase (informal; any string works).
+KIND_STAGE = "stage"
+KIND_BATCH = "batch"
+KIND_CACHE = "cache"
+KIND_TASK_GROUP = "task_group"
+KIND_SWEEP = "sweep"
+KIND_SWEEP_POINT = "sweep_point"
+KIND_PHASE = "phase"
+KIND_FLOW = "flow"
+KIND_DIE = "die"
+KIND_CORNER = "corner"
+KIND_COMMAND = "command"
+
+
+@dataclass
+class Span:
+    """One unit of work in the trace tree.
+
+    ``span_id`` and ``parent_id`` are deterministic small integers
+    (allocation order); ``t_start_s`` and ``dur_s`` are the *only*
+    wall-clock-bearing fields — attributes must never carry timings so
+    that timing-stripped traces diff byte-identically.
+    """
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    kind: str = "span"
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    t_start_s: float = 0.0
+    dur_s: Optional[float] = None
+    ok: bool = True
+    error: Optional[str] = None
+
+    @property
+    def closed(self) -> bool:
+        return self.dur_s is not None
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """Sink-protocol record for one *closed* span.
+
+    Mirrors the span's identity fields so sinks can reconstruct the
+    tree; like :class:`Span`, only ``t_start_s``/``dur_s`` carry wall
+    clocks.
+    """
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    kind: str
+    attrs: Dict[str, Any]
+    t_start_s: float
+    dur_s: float
+    ok: bool = True
+    error: Optional[str] = None
+
+
+class Tracer:
+    """Open/close spans on a stack; retain every closed span.
+
+    One tracer serves one run (a CLI invocation, a test, a notebook
+    cell); sessions derived from one another share it, so per-die or
+    per-corner children nest their spans under the parent's open span.
+    Not thread-safe by design: all in-process orchestration here is
+    single-threaded (parallelism lives in worker *processes*, which do
+    not trace).
+    """
+
+    def __init__(self, sink: Optional[Callable[[Any], None]] = None
+                 ) -> None:
+        self.sink = sink
+        self.spans: List[Span] = []
+        self._stack: List[int] = []
+        self._next_id = 1
+        self._epoch = time.perf_counter()
+
+    # --- core span lifecycle ---------------------------------------------
+
+    def open(self, name: str, kind: str = "span",
+             **attrs: Any) -> Span:
+        """Open a child of the innermost open span (or a root)."""
+        span = Span(
+            span_id=self._next_id,
+            parent_id=self._stack[-1] if self._stack else None,
+            name=name, kind=kind, attrs=dict(attrs),
+            t_start_s=time.perf_counter() - self._epoch)
+        self._next_id += 1
+        self.spans.append(span)
+        self._stack.append(span.span_id)
+        return span
+
+    def close(self, span: Span, ok: bool = True,
+              error: Optional[str] = None) -> Span:
+        """Close ``span``, stamping its duration and emitting the event.
+
+        Closes any forgotten inner spans first so the stack always
+        unwinds to a consistent tree even through exceptions.
+        """
+        while self._stack and self._stack[-1] != span.span_id:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+        span.dur_s = (time.perf_counter() - self._epoch
+                      - span.t_start_s)
+        span.ok = ok
+        span.error = error
+        if self.sink is not None:
+            self.sink(SpanEvent(
+                span_id=span.span_id, parent_id=span.parent_id,
+                name=span.name, kind=span.kind, attrs=dict(span.attrs),
+                t_start_s=span.t_start_s, dur_s=span.dur_s,
+                ok=span.ok, error=span.error))
+        return span
+
+    @contextmanager
+    def span(self, name: str, kind: str = "span",
+             **attrs: Any) -> Iterator[Span]:
+        """``with tracer.span("sta", kind="stage") as s: ...``
+
+        The span closes on exit; an escaping exception marks it
+        ``ok=False`` with the error text and re-raises.
+        """
+        opened = self.open(name, kind=kind, **attrs)
+        try:
+            yield opened
+        except BaseException as exc:
+            self.close(opened, ok=False,
+                       error=f"{type(exc).__name__}: {exc}")
+            raise
+        else:
+            self.close(opened)
+
+    # --- queries ----------------------------------------------------------
+
+    @property
+    def open_depth(self) -> int:
+        return len(self._stack)
+
+    def children(self, span_id: Optional[int]) -> List[Span]:
+        return [s for s in self.spans if s.parent_id == span_id]
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` unless the span list forms a valid tree
+        (unique ids, every parent id exists, every span closed)."""
+        ids = [span.span_id for span in self.spans]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate span ids in trace")
+        known = set(ids)
+        for span in self.spans:
+            if span.parent_id is not None and span.parent_id not in known:
+                raise ValueError(
+                    f"span {span.span_id} ({span.name!r}) references "
+                    f"unknown parent {span.parent_id}")
+            if not span.closed:
+                raise ValueError(
+                    f"span {span.span_id} ({span.name!r}) never closed")
+
+
+@contextmanager
+def maybe_span(tracer: Optional[Tracer], name: str, kind: str = "span",
+               **attrs: Any) -> Iterator[Optional[Span]]:
+    """``tracer.span(...)`` when a tracer is present, else a no-op.
+
+    The pattern every instrumented layer uses so tracing stays strictly
+    opt-in: un-traced runs execute the exact same code with a ``None``
+    span and zero overhead beyond one ``if``.
+    """
+    if tracer is None:
+        yield None
+        return
+    with tracer.span(name, kind=kind, **attrs) as opened:
+        yield opened
+
+
+def aggregate_spans(spans: List[Span], kind: Optional[str] = None
+                    ) -> List[Tuple[str, int, float]]:
+    """``(name, calls, total_seconds)`` rows aggregated by span name.
+
+    Rows come back in first-seen order (deterministic given a
+    deterministic trace).  ``kind`` filters to one span kind.
+    """
+    order: List[str] = []
+    calls: Dict[str, int] = {}
+    totals: Dict[str, float] = {}
+    for span in spans:
+        if kind is not None and span.kind != kind:
+            continue
+        if span.name not in calls:
+            order.append(span.name)
+            calls[span.name] = 0
+            totals[span.name] = 0.0
+        calls[span.name] += 1
+        totals[span.name] += span.dur_s or 0.0
+    return [(name, calls[name], totals[name]) for name in order]

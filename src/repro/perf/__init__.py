@@ -50,9 +50,12 @@ from .characterize import (
 from .fingerprint import KEY_SCHEMA_VERSION, cache_key, fingerprint
 from .parallel import (
     ExecutorPolicy,
+    ExecutorStats,
     TaskFailure,
     default_executor_policy,
+    executor_stats,
     parallel_map,
+    reset_executor_stats,
     resolve_jobs,
     set_default_executor_policy,
 )
@@ -65,7 +68,9 @@ __all__ = [
     "cached_measure_read", "cached_stdcell_library",
     "characterize_cells", "estimate_points",
     "KEY_SCHEMA_VERSION", "cache_key", "fingerprint",
-    "ExecutorPolicy", "TaskFailure", "default_executor_policy",
-    "parallel_map", "resolve_jobs", "set_default_executor_policy",
+    "ExecutorPolicy", "ExecutorStats", "TaskFailure",
+    "default_executor_policy", "executor_stats", "parallel_map",
+    "reset_executor_stats", "resolve_jobs",
+    "set_default_executor_policy",
     "Stopwatch",
 ]

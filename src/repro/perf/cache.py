@@ -31,6 +31,7 @@ import os
 import pickle
 import tempfile
 import threading
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Tuple
@@ -114,6 +115,25 @@ class CharacterizationCache:
         self.stats = CacheStats()
         self._memory: "OrderedDict[str, Any]" = OrderedDict()
         self._lock = threading.Lock()
+        # Event sinks (weakly held) receiving a FaultEvent per
+        # quarantine, so a Session sink sees absorbed cache corruption
+        # alongside pipeline/sweep/executor faults.  Weak references
+        # keep short-lived sessions from accumulating dead listeners on
+        # the process-wide default cache.
+        self._fault_sinks: "weakref.WeakSet" = weakref.WeakSet()
+
+    def add_fault_sink(self, sink: Callable[[Any], None]) -> None:
+        """Register an event sink for quarantine FaultEvents.
+
+        Idempotent per sink object; the reference is weak, so dropping
+        the sink unregisters it automatically.  Sinks that cannot be
+        weakly referenced are silently skipped (the ``on_quarantine``
+        hook remains the strong-reference alternative).
+        """
+        try:
+            self._fault_sinks.add(sink)
+        except TypeError:
+            pass
 
     # --- disk tier --------------------------------------------------------
 
@@ -153,6 +173,15 @@ class CharacterizationCache:
                 pass
         if self.on_quarantine is not None:
             self.on_quarantine(key, dest, reason)
+        sinks = list(self._fault_sinks)
+        if sinks:
+            # Deferred import: repro.session imports this module.
+            from ..session import FaultEvent
+            event = FaultEvent(
+                domain="cache", name=key, error=reason, recovered=True,
+                detail={"quarantine_path": dest})
+            for sink in sinks:
+                sink(event)
 
     def _disk_read(self, key: str) -> Tuple[bool, Any]:
         if self.cache_dir is None:

@@ -24,6 +24,7 @@ from ..bricks.compiler import CompiledBrick, compile_brick
 from ..bricks.estimator import BrickPerformance, estimate_brick
 from ..bricks.spec import BrickSpec
 from ..liberty.models import CellModel, LibraryModel
+from ..obs.trace import Tracer, maybe_span
 from ..tech.technology import Technology
 from .cache import CharacterizationCache, resolve_cache
 from .fingerprint import cache_key
@@ -137,10 +138,29 @@ def _estimate_worker(task: Tuple[BrickSpec, int, Technology]
     return estimate_brick(compiled, tech, stack=stack)
 
 
+def _executor_fault_sink(sink):
+    """An ``on_fault`` callback routing absorbed executor recoveries
+    (timeouts, retried pool failures, broken pools) to a session event
+    sink as FaultEvents; ``None`` when there is no sink to feed."""
+    if sink is None:
+        return None
+    # Deferred import: repro.session imports repro.perf at module load.
+    from ..session import FaultEvent
+
+    def on_fault(kind: str, index: int, error: str) -> None:
+        sink(FaultEvent(domain="executor", name=f"task{index}",
+                        error=f"{kind}: {error}", index=index,
+                        recovered=True))
+
+    return on_fault
+
+
 def _batched(points: Sequence[Tuple[BrickSpec, int]], tech: Technology,
              kind: str, worker, jobs: int,
              cache: Optional[CharacterizationCache],
-             keep_going: bool = False) -> List[Any]:
+             keep_going: bool = False,
+             tracer: Optional[Tracer] = None,
+             sink=None) -> List[Any]:
     """Shared dedup → cache-probe → fan-out → reassemble skeleton.
 
     With ``keep_going=True`` a point whose characterization fails (even
@@ -148,48 +168,72 @@ def _batched(points: Sequence[Tuple[BrickSpec, int]], tech: Technology,
     :class:`~repro.perf.parallel.TaskFailure` at its position instead of
     raising; failures are never written to the cache, so a later retry
     recomputes them.
+
+    ``tracer`` opens spans around the batch, its cache probe and its
+    parallel task group; ``sink`` receives a FaultEvent per absorbed
+    executor recovery.  Both default to off.
     """
     cache = resolve_cache(cache)
-    keys = [cache_key(kind, spec, tech, stack) for spec, stack in points]
-    results: Dict[str, Any] = {}
-    pending: List[Tuple[str, Tuple[BrickSpec, int, Technology]]] = []
-    pending_keys = set()
-    for (spec, stack), key in zip(points, keys):
-        if key in results or key in pending_keys:
-            continue
-        found, value = cache.get(key)
-        if found:
-            results[key] = value
-        else:
-            pending.append((key, (spec, stack, tech)))
-            pending_keys.add(key)
-    if pending:
-        computed = parallel_map(worker, [task for _, task in pending],
-                                jobs=jobs, return_errors=keep_going)
-        for (key, _), value in zip(pending, computed):
-            if not isinstance(value, TaskFailure):
-                cache.put(key, value)
-            results[key] = value
-    return [results[key] for key in keys]
+    with maybe_span(tracer, f"characterize:{kind}", kind="batch",
+                    n_requests=len(points)) as batch:
+        keys = [cache_key(kind, spec, tech, stack)
+                for spec, stack in points]
+        results: Dict[str, Any] = {}
+        pending: List[Tuple[str, Tuple[BrickSpec, int, Technology]]] = []
+        pending_keys = set()
+        with maybe_span(tracer, "cache_probe", kind="cache") as probe:
+            for (spec, stack), key in zip(points, keys):
+                if key in results or key in pending_keys:
+                    continue
+                found, value = cache.get(key)
+                if found:
+                    results[key] = value
+                else:
+                    pending.append((key, (spec, stack, tech)))
+                    pending_keys.add(key)
+            if probe is not None:
+                probe.attrs.update(
+                    unique=len(results) + len(pending),
+                    hits=len(results), misses=len(pending))
+        if batch is not None:
+            batch.attrs.update(n_unique=len(results) + len(pending),
+                               n_cold=len(pending))
+        if pending:
+            with maybe_span(tracer, "parallel_map", kind="task_group",
+                            tasks=len(pending), jobs=jobs):
+                computed = parallel_map(
+                    worker, [task for _, task in pending], jobs=jobs,
+                    return_errors=keep_going,
+                    on_fault=_executor_fault_sink(sink))
+            for (key, _), value in zip(pending, computed):
+                if not isinstance(value, TaskFailure):
+                    cache.put(key, value)
+                results[key] = value
+        return [results[key] for key in keys]
 
 
 def characterize_cells(requests: Sequence[Tuple[BrickSpec, int]],
                        tech: Technology, jobs: int = 1,
                        cache: Optional[CharacterizationCache] = None,
-                       keep_going: bool = False) -> List[CellModel]:
+                       keep_going: bool = False,
+                       tracer: Optional[Tracer] = None,
+                       sink=None) -> List[CellModel]:
     """Library cell models for ``(spec, stack)`` requests, in order.
 
     Repeated requests are characterized exactly once; unique cold points
     are fanned out over ``jobs`` processes.
     """
     return _batched(requests, tech, "cellmodel", _cell_model_worker,
-                    jobs, cache, keep_going=keep_going)
+                    jobs, cache, keep_going=keep_going,
+                    tracer=tracer, sink=sink)
 
 
 def estimate_points(points: Sequence[Tuple[BrickSpec, int]],
                     tech: Technology, jobs: int = 1,
                     cache: Optional[CharacterizationCache] = None,
-                    keep_going: bool = False) -> List[BrickPerformance]:
+                    keep_going: bool = False,
+                    tracer: Optional[Tracer] = None,
+                    sink=None) -> List[BrickPerformance]:
     """Closed-form estimates for ``(spec, stack)`` points, in order.
 
     Under ``keep_going=True`` failed points come back as
@@ -197,4 +241,5 @@ def estimate_points(points: Sequence[Tuple[BrickSpec, int]],
     can skip-and-record them.
     """
     return _batched(points, tech, "estimate", _estimate_worker,
-                    jobs, cache, keep_going=keep_going)
+                    jobs, cache, keep_going=keep_going,
+                    tracer=tracer, sink=sink)

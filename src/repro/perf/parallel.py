@@ -84,6 +84,60 @@ class TaskFailure:
         return False
 
 
+@dataclass
+class ExecutorStats:
+    """Process-wide counters over every :func:`parallel_map` call.
+
+    ``tasks`` counts tasks submitted; ``pool_tasks``/``serial_tasks``
+    where they executed (a task retried across tiers counts in each);
+    ``retried_tasks`` counts task-retry events (a task failing a pool
+    round and getting another shot, pooled or serial); ``timeouts`` and
+    ``pool_restarts`` the absorbed executor faults; ``failures`` the
+    terminal per-task failures that survived every recovery tier.
+    """
+
+    tasks: int = 0
+    pool_tasks: int = 0
+    serial_tasks: int = 0
+    retried_tasks: int = 0
+    timeouts: int = 0
+    pool_restarts: int = 0
+    failures: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "tasks": self.tasks,
+            "pool_tasks": self.pool_tasks,
+            "serial_tasks": self.serial_tasks,
+            "retried_tasks": self.retried_tasks,
+            "timeouts": self.timeouts,
+            "pool_restarts": self.pool_restarts,
+            "failures": self.failures,
+        }
+
+
+_executor_stats = ExecutorStats()
+
+
+def executor_stats() -> ExecutorStats:
+    """The process-wide executor counters (metrics snapshot source)."""
+    return _executor_stats
+
+
+def reset_executor_stats() -> ExecutorStats:
+    """Zero the process-wide counters (tests); returns the instance."""
+    global _executor_stats
+    _executor_stats = ExecutorStats()
+    return _executor_stats
+
+
+#: Callback invoked once per *absorbed* executor fault — a task timing
+#: out, failing a pool round, or losing its pool — before the task is
+#: retried or recovered serially.  Called as ``on_fault(kind, index,
+#: error)``; terminal failures surface through return values/raises
+#: instead.
+FaultCallback = Callable[[str, int, str], None]
+
 _default_policy = ExecutorPolicy()
 
 
@@ -131,9 +185,11 @@ def _serial_round(fn: Callable[[T], R], tasks: Sequence[T],
     cannot be preempted without a pool.
     """
     for index in indices:
+        _executor_stats.serial_tasks += 1
         try:
             results[index] = fn(tasks[index])
         except Exception as exc:
+            _executor_stats.failures += 1
             if return_errors:
                 results[index] = TaskFailure(
                     index=index, error=str(exc),
@@ -149,7 +205,8 @@ def _serial_round(fn: Callable[[T], R], tasks: Sequence[T],
 def parallel_map(fn: Callable[[T], R], tasks: Sequence[T],
                  jobs: int = 1,
                  policy: Optional[ExecutorPolicy] = None,
-                 return_errors: bool = False) -> List[Any]:
+                 return_errors: bool = False,
+                 on_fault: Optional[FaultCallback] = None) -> List[Any]:
     """``[fn(t) for t in tasks]`` fanned over ``jobs`` processes.
 
     Results are returned in task order.  ``fn`` and every task must be
@@ -169,12 +226,19 @@ def parallel_map(fn: Callable[[T], R], tasks: Sequence[T],
     exception) or, under ``return_errors=True``, yields a
     :class:`TaskFailure` placeholder at its index so callers can
     skip-and-record.
+
+    ``on_fault`` (see :data:`FaultCallback`) observes every *absorbed*
+    recovery — timeout, retried pool failure, broken pool — which is how
+    the session layer routes executor faults to its event sink; the
+    process-wide :func:`executor_stats` counters record the same events
+    unconditionally.
     """
     policy = policy if policy is not None else _default_policy
     n = len(tasks)
     results: List[Any] = [None] * n
     pending = list(range(n))
     jobs = resolve_jobs(jobs, n_tasks=n)
+    _executor_stats.tasks += n
     if jobs <= 1 or n <= 1:
         _serial_round(fn, tasks, pending, results, return_errors,
                       wrap=False)
@@ -203,10 +267,12 @@ def parallel_map(fn: Callable[[T], R], tasks: Sequence[T],
             break
         used_pool = True
         timed_out = False
+        pool_broke = False
         try:
             futures: Dict[int, Any] = {
                 index: pool.submit(fn, tasks[index])
                 for index in pending}
+            _executor_stats.pool_tasks += len(pending)
             for index, future in futures.items():
                 try:
                     results[index] = future.result(
@@ -215,16 +281,29 @@ def parallel_map(fn: Callable[[T], R], tasks: Sequence[T],
                     timed_out = True
                     future.cancel()
                     still_failed.append(index)
-                except BrokenExecutor:
+                    _executor_stats.timeouts += 1
+                    if on_fault is not None:
+                        on_fault("Timeout", index,
+                                 f"no result within "
+                                 f"{policy.task_timeout_s}s")
+                except BrokenExecutor as exc:
                     # The pool died (worker crash / OOM kill): every
                     # task without a result must be retried.
+                    pool_broke = True
                     still_failed.append(index)
-                except Exception:
+                    if on_fault is not None:
+                        on_fault("BrokenPool", index, str(exc))
+                except Exception as exc:
                     still_failed.append(index)
+                    if on_fault is not None:
+                        on_fault(type(exc).__name__, index, str(exc))
         finally:
             # A hung task would make a waiting shutdown block forever;
             # abandon the pool instead (workers are reaped at exit).
             pool.shutdown(wait=not timed_out, cancel_futures=True)
+        if pool_broke:
+            _executor_stats.pool_restarts += 1
+        _executor_stats.retried_tasks += len(still_failed)
         pending = still_failed
     if pending:
         _serial_round(fn, tasks, pending, results, return_errors,

@@ -36,6 +36,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, TextIO
 
 from .errors import SessionError
+from .obs.metrics import MetricsRegistry, collect_snapshot
+from .obs.trace import SpanEvent, Tracer, maybe_span
 from .perf.cache import CharacterizationCache, resolve_cache
 from .tech.technology import Technology
 
@@ -100,6 +102,11 @@ class RecordingSink:
         return [event for event in self.events
                 if isinstance(event, FaultEvent)]
 
+    @property
+    def spans(self) -> List[SpanEvent]:
+        return [event for event in self.events
+                if isinstance(event, SpanEvent)]
+
     def clear(self) -> None:
         self.events.clear()
 
@@ -117,6 +124,12 @@ class PrintingSink:
             print(f"[fault] {event.domain}:{event.name} "
                   f"{'recovered' if event.recovered else 'fatal'}: "
                   f"{event.error}", file=stream)
+            return
+        if isinstance(event, SpanEvent):
+            status = "" if event.ok else f"  FAILED: {event.error}"
+            print(f"[span {event.span_id}] "
+                  f"{event.kind}:{event.name:<20s} "
+                  f"{event.dur_s * 1e3:9.2f} ms{status}", file=stream)
             return
         status = "ok" if event.ok else f"FAILED: {event.error}"
         extra = "".join(f" {k}={v}" for k, v in event.detail.items())
@@ -140,9 +153,19 @@ class Session:
     cache: Optional[CharacterizationCache] = None
     seed: int = DEFAULT_SEED
     sink: Optional[EventSink] = None
+    tracer: Optional[Tracer] = None
+    metrics: Optional[MetricsRegistry] = None
+    profile_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         self.cache = resolve_cache(self.cache)
+        if self.tracer is not None and self.tracer.sink is None:
+            self.tracer.sink = self.sink
+        if self.sink is not None:
+            # Quarantined cache entries surface on this session's sink
+            # as FaultEvents (the cache dedups re-registration, so
+            # derived children sharing the sink register it once).
+            self.cache.add_fault_sink(self.sink)
 
     # --- events -----------------------------------------------------------
 
@@ -150,6 +173,25 @@ class Session:
         """Deliver one event to the sink (no-op without a sink)."""
         if self.sink is not None:
             self.sink(event)
+
+    def span(self, name: str, kind: str = "span", **attrs: Any):
+        """Context manager opening a span on this session's tracer.
+
+        A no-op yielding ``None`` when the session has no tracer, so
+        instrumented layers never need to branch.
+        """
+        return maybe_span(self.tracer, name, kind=kind, **attrs)
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """The unified metrics snapshot for this session's run.
+
+        Folds the metrics registry (may be ``None``), this session's
+        cache statistics and the process-wide executor statistics into
+        one :func:`~repro.obs.metrics.collect_snapshot` dict.
+        """
+        from .perf.parallel import executor_stats
+        return collect_snapshot(self.metrics, self.cache.stats,
+                                executor_stats())
 
     # --- determinism ------------------------------------------------------
 
@@ -172,7 +214,9 @@ class Session:
         """
         fields_ = {"tech": self.tech, "jobs": self.jobs,
                    "cache": self.cache, "seed": self.seed,
-                   "sink": self.sink}
+                   "sink": self.sink, "tracer": self.tracer,
+                   "metrics": self.metrics,
+                   "profile_dir": self.profile_dir}
         unknown = set(overrides) - set(fields_)
         if unknown:
             raise SessionError(
@@ -187,7 +231,10 @@ class Session:
                jobs: Optional[int] = None,
                cache: Optional[CharacterizationCache] = None,
                seed: Optional[int] = None,
-               sink: Optional[EventSink] = None) -> "Session":
+               sink: Optional[EventSink] = None,
+               tracer: Optional[Tracer] = None,
+               metrics: Optional[MetricsRegistry] = None,
+               profile_dir: Optional[str] = None) -> "Session":
         """Resolve the deprecated kwarg shims into a Session.
 
         When ``session`` is given it wins, with any explicitly passed
@@ -199,7 +246,10 @@ class Session:
             overrides = {key: value for key, value in
                          (("tech", tech), ("jobs", jobs),
                           ("cache", cache), ("seed", seed),
-                          ("sink", sink)) if value is not None}
+                          ("sink", sink), ("tracer", tracer),
+                          ("metrics", metrics),
+                          ("profile_dir", profile_dir))
+                         if value is not None}
             return session.derive(**overrides) if overrides else session
         if tech is None:
             raise SessionError(
@@ -208,7 +258,8 @@ class Session:
                    jobs=1 if jobs is None else jobs,
                    cache=cache,
                    seed=DEFAULT_SEED if seed is None else seed,
-                   sink=sink)
+                   sink=sink, tracer=tracer, metrics=metrics,
+                   profile_dir=profile_dir)
 
     # --- entry points -----------------------------------------------------
     # Convenience delegates so callers can stay entirely in the session

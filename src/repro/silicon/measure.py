@@ -118,33 +118,41 @@ def measure_chips(configs: Sequence[str],
     for config in configs:
         chips: List[ChipMeasurement] = []
         dead: List[int] = []
-        if defect_model is not None:
-            from ..faults import RepairPlan, apply_repair, inject
-            from .testchip import config_bank
-            bank = config_bank(config)
-            plan = RepairPlan()
+        with session.span(f"measure:{config}", kind="flow",
+                          n_chips=n_chips) as mspan:
+            if defect_model is not None:
+                from ..faults import RepairPlan, apply_repair, inject
+                from .testchip import config_bank
+                bank = config_bank(config)
+                plan = RepairPlan()
+                for sample in samples:
+                    rng = session.rng(
+                        f"silicon:{config}:chip{sample.chip_id}")
+                    for _ in range(bank.n_bricks):
+                        faulty = inject(bank.brick, defect_model, rng)
+                        if not apply_repair(faulty, plan).ok:
+                            dead.append(sample.chip_id)
+                            break
             for sample in samples:
-                rng = session.rng(
-                    f"silicon:{config}:chip{sample.chip_id}")
-                for _ in range(bank.n_bricks):
-                    faulty = inject(bank.brick, defect_model, rng)
-                    if not apply_repair(faulty, plan).ok:
-                        dead.append(sample.chip_id)
-                        break
-        for sample in samples:
-            if sample.chip_id in dead:
-                continue
-            die_session = session.derive(tech=sample.apply(session.tech))
-            flow = run_config_flow(config,
-                                   anneal_moves=anneal_moves,
-                                   session=die_session)
-            fmax = flow.fmax * sample.measurement_noise
-            chips.append(ChipMeasurement(
-                chip_id=sample.chip_id,
-                fmax_hz=fmax,
-                power_w=flow.power.total_w,
-                energy_per_cycle_j=flow.power.energy_per_cycle,
-            ))
+                if sample.chip_id in dead:
+                    continue
+                die_session = session.derive(
+                    tech=sample.apply(session.tech))
+                with die_session.span(f"chip{sample.chip_id}",
+                                      kind="die"):
+                    flow = run_config_flow(config,
+                                           anneal_moves=anneal_moves,
+                                           session=die_session)
+                fmax = flow.fmax * sample.measurement_noise
+                chips.append(ChipMeasurement(
+                    chip_id=sample.chip_id,
+                    fmax_hz=fmax,
+                    power_w=flow.power.total_w,
+                    energy_per_cycle_j=flow.power.energy_per_cycle,
+                ))
+            if mspan is not None:
+                mspan.attrs.update(dead_chips=len(dead),
+                                   measured=len(chips))
         if not chips:
             raise SiliconError(
                 f"config {config}: every die failed wafer sort "
@@ -169,17 +177,20 @@ def simulate_corners(configs: Sequence[str],
     session = Session.ensure(session, tech=tech, jobs=jobs, cache=cache)
     results: Dict[str, CornerSimulation] = {}
     for config in configs:
-        best = run_config_flow(config, with_power=False,
-                               anneal_moves=anneal_moves,
-                               session=session.derive(
-                                   tech=BEST.apply(session.tech)))
-        nominal = run_config_flow(config,
-                                  anneal_moves=anneal_moves,
-                                  session=session)
-        worst = run_config_flow(config, with_power=False,
-                                anneal_moves=anneal_moves,
-                                session=session.derive(
-                                    tech=WORST.apply(session.tech)))
+        with session.span("best", kind="corner", config=config):
+            best = run_config_flow(config, with_power=False,
+                                   anneal_moves=anneal_moves,
+                                   session=session.derive(
+                                       tech=BEST.apply(session.tech)))
+        with session.span("nominal", kind="corner", config=config):
+            nominal = run_config_flow(config,
+                                      anneal_moves=anneal_moves,
+                                      session=session)
+        with session.span("worst", kind="corner", config=config):
+            worst = run_config_flow(config, with_power=False,
+                                    anneal_moves=anneal_moves,
+                                    session=session.derive(
+                                        tech=WORST.apply(session.tech)))
         results[config] = CornerSimulation(
             config=config,
             fmax_best=best.fmax,

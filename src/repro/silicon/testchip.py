@@ -89,7 +89,9 @@ def run_config_flow(name: str, tech: Optional[Technology] = None,
     """Push one test-chip configuration through the full flow."""
     session = Session.ensure(session, tech=tech, jobs=jobs,
                              cache=cache, seed=seed)
-    top, library, bank = build_config(name, session=session)
-    stimulus = read_stimulus(bank) if with_power else None
-    return run_flow(top, library, stimulus=stimulus,
-                    anneal_moves=anneal_moves, session=session)
+    with session.span(f"config:{name}", kind="flow",
+                      with_power=with_power):
+        top, library, bank = build_config(name, session=session)
+        stimulus = read_stimulus(bank) if with_power else None
+        return run_flow(top, library, stimulus=stimulus,
+                        anneal_moves=anneal_moves, session=session)

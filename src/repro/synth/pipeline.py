@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import SessionError, SynthesisError
+from ..obs.profile import maybe_profile
 from ..perf.timer import Stopwatch
 from ..session import FaultEvent, Session, StageEvent
 
@@ -66,6 +67,55 @@ class Pipeline:
     def stage_names(self) -> Tuple[str, ...]:
         return tuple(stage.name for stage in self.stages)
 
+    def _timed_stage(self, session: Session, stage: FlowStage,
+                     index: int, state: Any) -> Optional[Dict[str, Any]]:
+        """One stage with full observability bookkeeping.
+
+        Opens a ``stage`` span on the session tracer (stage detail
+        becomes span attributes), optionally wraps the body in cProfile
+        (``session.profile_dir``), observes the wall clock into the
+        ``synth.pipeline.stage.<name>`` histogram, and emits exactly
+        one :class:`StageEvent`.  A stage exception is re-raised
+        unchanged after the failed span/event are recorded — the caller
+        decides between aborting (:meth:`run`) and absorbing
+        (:meth:`run_partial`).
+        """
+        tracer = session.tracer
+        span = (tracer.open(stage.name, kind="stage",
+                            pipeline=self.name, index=index)
+                if tracer is not None else None)
+        watch = Stopwatch()
+        try:
+            with maybe_profile(session.profile_dir,
+                               f"{self.name}.{stage.name}"):
+                detail = stage.run(session, state)
+        except Exception as exc:
+            elapsed = watch.elapsed()
+            if span is not None:
+                tracer.close(span, ok=False,
+                             error=f"{type(exc).__name__}: {exc}")
+            self._observe(session, stage.name, elapsed)
+            session.emit(StageEvent(
+                stage=stage.name, index=index,
+                wall_clock_s=elapsed, ok=False, error=str(exc)))
+            raise
+        elapsed = watch.elapsed()
+        if span is not None:
+            span.attrs.update(detail or {})
+            tracer.close(span)
+        self._observe(session, stage.name, elapsed)
+        session.emit(StageEvent(
+            stage=stage.name, index=index,
+            wall_clock_s=elapsed, ok=True, detail=detail or {}))
+        return detail
+
+    @staticmethod
+    def _observe(session: Session, stage_name: str,
+                 elapsed: float) -> None:
+        if session.metrics is not None:
+            session.metrics.histogram(
+                f"synth.pipeline.stage.{stage_name}").observe(elapsed)
+
     def run(self, session: Session, state: Any) -> Any:
         """Execute every stage in order, emitting one event per stage.
 
@@ -75,21 +125,12 @@ class Pipeline:
         original exception.
         """
         for index, stage in enumerate(self.stages):
-            watch = Stopwatch()
             try:
-                detail = stage.run(session, state)
+                self._timed_stage(session, stage, index, state)
             except Exception as exc:
-                session.emit(StageEvent(
-                    stage=stage.name, index=index,
-                    wall_clock_s=watch.elapsed(), ok=False,
-                    error=str(exc)))
                 raise SynthesisError(
                     f"pipeline {self.name!r} stage {stage.name!r} "
                     f"failed: {exc}") from exc
-            session.emit(StageEvent(
-                stage=stage.name, index=index,
-                wall_clock_s=watch.elapsed(), ok=True,
-                detail=detail or {}))
         return state
 
     def run_partial(self, session: Session, state: Any
@@ -106,14 +147,9 @@ class Pipeline:
         """
         faults: List[FaultEvent] = []
         for index, stage in enumerate(self.stages):
-            watch = Stopwatch()
             try:
-                detail = stage.run(session, state)
+                self._timed_stage(session, stage, index, state)
             except Exception as exc:
-                session.emit(StageEvent(
-                    stage=stage.name, index=index,
-                    wall_clock_s=watch.elapsed(), ok=False,
-                    error=str(exc)))
                 fault = FaultEvent(
                     domain=f"pipeline:{self.name}", name=stage.name,
                     index=index, error=f"{type(exc).__name__}: {exc}",
@@ -121,8 +157,4 @@ class Pipeline:
                 session.emit(fault)
                 faults.append(fault)
                 continue
-            session.emit(StageEvent(
-                stage=stage.name, index=index,
-                wall_clock_s=watch.elapsed(), ok=True,
-                detail=detail or {}))
         return state, faults
