@@ -1,0 +1,116 @@
+"""Microbenchmark: the vectorized batch-estimator kernel.
+
+Prices synthetic brick populations of 10^2 / 10^3 / 10^4 points through
+:func:`repro.bricks.estimate_brick_batch` and compares against the
+scalar ``compile_brick`` + ``estimate_brick`` loop, emitting
+``BENCH_batch_estimator.json``.  This is the kernel behind the
+``BENCH_fig4c`` cold-sweep speedup and the ROADMAP's million-point
+exploration target: throughput should *grow* with batch size as the
+fixed numpy dispatch cost amortizes.
+
+The scalar loop is priced on a bounded subsample at the largest size
+(it runs at a few hundred points/s) and reported as such.
+"""
+
+import time
+
+import pytest
+
+from bench_util import emit_bench_json, print_table
+from repro.bricks import compile_brick, estimate_brick, \
+    estimate_brick_batch
+from repro.bricks.spec import BrickSpec
+from repro.cells.bitcells import MEMORY_TYPES
+
+#: Scalar pricing is ~3 orders slower; cap how many points it replays.
+_SCALAR_SAMPLE_CAP = 200
+
+
+def _population(n):
+    """A deterministic mixed-type population of ``n`` brick points."""
+    words_options = (4, 8, 16, 32, 64, 128)
+    bits_options = (4, 8, 10, 12, 16, 32)
+    points = []
+    for i in range(n):
+        spec = BrickSpec(MEMORY_TYPES[i % len(MEMORY_TYPES)],
+                         words_options[i % len(words_options)],
+                         bits_options[(i // 3) % len(bits_options)])
+        points.append((spec, 1 + (i % 8)))
+    return points
+
+
+def _best_of(fn, repeats):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_batch_estimator_throughput_json(benchmark, tech):
+    sizes = (100, 1000, 10000)
+    rows = []
+    sections = {}
+    for n in sizes:
+        points = _population(n)
+        sample = points[:min(n, _SCALAR_SAMPLE_CAP)]
+
+        def scalar():
+            for spec, stack in sample:
+                compiled = compile_brick(spec, tech,
+                                         target_stack=stack)
+                estimate_brick(compiled, tech, stack=stack)
+
+        def vector():
+            return estimate_brick_batch(points, tech)
+
+        # Warm numpy dispatch paths before timing.
+        vector()
+        scalar_s = _best_of(scalar, 3)
+        batch_s = _best_of(vector, 5 if n >= 10000 else 10)
+        scalar_pps = len(sample) / scalar_s
+        batch_pps = n / batch_s
+        sections[str(n)] = {
+            "batch_points_per_s": batch_pps,
+            "batch_wall_clock_s": batch_s,
+            "scalar_points_per_s": scalar_pps,
+            "scalar_sample_points": len(sample),
+            "speedup": batch_pps / scalar_pps,
+        }
+        rows.append((n, len(sample), f"{scalar_pps:.0f}",
+                     f"{batch_pps:.0f}",
+                     f"{batch_pps / scalar_pps:.1f}x"))
+    print_table(
+        "Batch-estimator kernel throughput (mixed brick types)",
+        ("batch", "scalar sample", "scalar[pts/s]", "batch[pts/s]",
+         "speedup"),
+        rows)
+    emit_bench_json("batch_estimator", {
+        "sizes": sections,
+        "scalar_sample_cap": _SCALAR_SAMPLE_CAP,
+    })
+    # The kernel exists to beat the scalar loop by >=10x at population
+    # scale; at 10^3+ it does so with a wide margin.
+    for n in (1000, 10000):
+        assert sections[str(n)]["speedup"] >= 10.0, (
+            f"batch kernel only {sections[str(n)]['speedup']:.1f}x "
+            f"at n={n}")
+    benchmark.pedantic(
+        lambda: estimate_brick_batch(_population(1000), tech),
+        rounds=3, iterations=1)
+
+
+def test_batch_matches_scalar_spot_check(tech):
+    """The microbench population prices identically under both paths."""
+    points = _population(50)
+    vectors = estimate_brick_batch(points, tech)
+    for (spec, stack), vector in zip(points, vectors):
+        compiled = compile_brick(spec, tech, target_stack=stack)
+        scalar = estimate_brick(compiled, tech, stack=stack)
+        assert vector.read_delay == pytest.approx(scalar.read_delay,
+                                                  rel=1e-9)
+        assert vector.area_um2 == pytest.approx(scalar.area_um2,
+                                                rel=1e-9)
+        assert vector.read_energy == pytest.approx(scalar.read_energy,
+                                                   rel=1e-9)

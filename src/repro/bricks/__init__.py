@@ -1,5 +1,12 @@
 """Memory brick compiler: the paper's core contribution."""
 
+from .batch import (
+    BrickSpecBatch,
+    CompiledBrickBatch,
+    compile_batch,
+    estimate_batch,
+    estimate_brick_batch,
+)
 from .compiler import CompiledBrick, MatchPeriphery, compile_brick
 from .estimator import BrickPerformance, estimate_brick
 from .extract import (
@@ -17,6 +24,8 @@ from .spec import BrickSpec, cam_brick, sram_brick
 from .stack import BankConfig, partitioned, single_partition
 
 __all__ = [
+    "BrickSpecBatch", "CompiledBrickBatch", "compile_batch",
+    "estimate_batch", "estimate_brick_batch",
     "CompiledBrick", "MatchPeriphery", "compile_brick",
     "BrickPerformance", "estimate_brick",
     "BrickTestbench", "build_read_testbench", "build_write_testbench",

@@ -1,0 +1,656 @@
+"""Struct-of-arrays batch estimation: price whole brick populations.
+
+The design-space explorations of Section 5 (Fig. 4c) and the Monte-Carlo
+signoff both price thousands of ``(BrickSpec, stack)`` candidates through
+the same closed forms.  Walking per-spec Python objects through
+:func:`repro.bricks.estimator.estimate_brick` caps that at a few hundred
+points per second; this module prices an entire population in a handful
+of numpy array operations instead.
+
+The kernel is a line-by-line transcription of the scalar path:
+
+* :class:`BrickSpecBatch` holds the population as parallel arrays
+  (memory-type code, words, bits, stack) — one column per spec field.
+* :func:`compile_batch` reruns the compiler's logical-effort sizing with
+  :func:`repro.circuit.logical_effort.buffer_chain_batch` (identical
+  stage counts, including the odd/even polarity forcing).
+* :func:`estimate_batch` evaluates every delay/energy/area/leakage term
+  of :func:`estimate_brick` element-wise, with all Elmore wire terms of
+  the whole population solved by one block-diagonal
+  :func:`repro.circuit.rc_tree.ladder_elmore_batch` call.
+
+Per-point results agree with the scalar estimator to <= 1e-9 relative
+(most terms are bit-identical; the rest differ only in float association
+order), which the golden equivalence tests enforce across every memory
+type and PVT corner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..cells.bitcells import CAM_10T, MEMORY_TYPES, make_bitcell
+from ..cells.leafcells import inverter_widths
+from ..cells.stdcells import unit_input_cap
+from ..circuit.logical_effort import buffer_chain_batch
+from ..circuit.rc_tree import ladder_elmore_batch
+from ..errors import BrickError
+from ..tech.technology import Technology
+from .estimator import _CROWBAR_FO4, _K50, BrickPerformance
+from .spec import MAX_BITS, MAX_WORDS, BrickSpec
+
+
+def _as_int_array(values, name: str, lo: int, hi: int) -> np.ndarray:
+    arr = np.asarray(values)
+    if arr.ndim != 1:
+        raise BrickError(f"{name} must be a 1-D array")
+    if arr.dtype.kind == "f":
+        if arr.size and (not np.isfinite(arr).all()
+                         or (arr != np.floor(arr)).any()):
+            raise BrickError(f"{name} must be finite integers")
+    elif arr.dtype.kind not in ("i", "u"):
+        raise BrickError(f"{name} must be an integer array")
+    arr = arr.astype(np.int64)
+    if arr.size and ((arr < lo).any() or (arr > hi).any()):
+        raise BrickError(f"{name} must be in [{lo}, {hi}]")
+    return arr
+
+
+@dataclass(frozen=True)
+class BrickSpecBatch:
+    """A population of ``(BrickSpec, stack)`` points as parallel arrays.
+
+    ``memory_code[i]`` indexes :data:`repro.cells.bitcells.MEMORY_TYPES`;
+    ``out_load`` optionally overrides the estimator's default ARBL output
+    load per point (``None`` keeps the compiler's 4-unit-cap assumption).
+    """
+
+    memory_code: np.ndarray
+    words: np.ndarray
+    bits: np.ndarray
+    stack: np.ndarray
+    out_load: Optional[np.ndarray] = None
+
+    @property
+    def n_points(self) -> int:
+        return int(self.words.shape[0])
+
+    @property
+    def is_cam(self) -> np.ndarray:
+        return self.memory_code == MEMORY_TYPES.index(CAM_10T)
+
+    @classmethod
+    def from_arrays(cls, memory_types: Sequence[str], words, bits, stack,
+                    out_load=None) -> "BrickSpecBatch":
+        """Build a batch from per-point columns, validating every point
+        the way :class:`~repro.bricks.spec.BrickSpec` and
+        :func:`~repro.bricks.compiler.compile_brick` would."""
+        try:
+            codes = np.asarray(
+                [MEMORY_TYPES.index(mt) for mt in memory_types],
+                dtype=np.int8)
+        except ValueError as exc:
+            raise BrickError(
+                f"unknown memory type; known: {MEMORY_TYPES}") from exc
+        words = _as_int_array(words, "words", 1, MAX_WORDS)
+        bits = _as_int_array(bits, "bits", 1, MAX_BITS)
+        stack = _as_int_array(stack, "stack", 1, 1 << 30)
+        n = words.shape[0]
+        if not (codes.shape[0] == bits.shape[0] == stack.shape[0] == n):
+            raise BrickError("batch columns must have equal length")
+        if out_load is not None:
+            out_load = np.asarray(out_load, dtype=np.float64)
+            if out_load.shape != (n,):
+                raise BrickError("out_load must align with the batch")
+            if out_load.size and (not np.isfinite(out_load).all()
+                                  or (out_load <= 0).any()):
+                raise BrickError("out_load must be finite and positive")
+        return cls(codes, words, bits, stack, out_load)
+
+    @classmethod
+    def from_points(cls, points: Sequence[Tuple]) -> "BrickSpecBatch":
+        """Build a batch from ``(spec, stack)`` or ``(spec, stack,
+        out_load)`` tuples — the shape ``estimate_points`` tasks come
+        in."""
+        types: List[str] = []
+        words: List[int] = []
+        bits: List[int] = []
+        stacks: List[int] = []
+        loads: List[Optional[float]] = []
+        for point in points:
+            spec, stack = point[0], point[1]
+            if not isinstance(spec, BrickSpec):
+                raise BrickError(
+                    f"batch points need a BrickSpec, got {type(spec)}")
+            types.append(spec.memory_type)
+            words.append(spec.words)
+            bits.append(spec.bits)
+            stacks.append(int(stack))
+            loads.append(point[2] if len(point) > 2 else None)
+        out_load = None
+        if any(load is not None for load in loads):
+            if any(load is None for load in loads):
+                raise BrickError(
+                    "either every point or no point sets out_load")
+            out_load = loads
+        return cls.from_arrays(types, words, bits, stacks, out_load)
+
+    def spec(self, i: int) -> BrickSpec:
+        """Materialize point ``i`` back into a scalar spec."""
+        return BrickSpec(str(MEMORY_TYPES[int(self.memory_code[i])]),
+                         int(self.words[i]), int(self.bits[i]))
+
+
+def _brick_name(memory_type: str, words: int, bits: int) -> str:
+    # Mirrors BrickSpec.name without materializing a spec per point.
+    prefix = "cam_brick" if memory_type == CAM_10T else "brick"
+    suffix = "" if memory_type in ("8T", CAM_10T) else \
+        f"_{memory_type.lower()}"
+    return f"{prefix}_{words}_{bits}{suffix}"
+
+
+def _gather_bitcells(codes: np.ndarray, tech: Technology) -> dict:
+    """Per-point bitcell parameter columns, one ``make_bitcell`` call
+    per memory type present in the batch."""
+    fields = ("width_um", "height_um", "c_rwl", "c_wwl", "c_rbl",
+              "c_wbl", "r_read", "i_leak", "c_ml", "c_sl", "r_match")
+    n = codes.shape[0]
+    out = {name: np.zeros(n, dtype=np.float64) for name in fields}
+    for code in np.unique(codes):
+        cell = make_bitcell(MEMORY_TYPES[int(code)], tech)
+        mask = codes == code
+        for name in fields:
+            out[name][mask] = getattr(cell, name)
+    return out
+
+
+@dataclass(frozen=True)
+class CompiledBrickBatch:
+    """All sized-periphery columns :func:`estimate_batch` consumes.
+
+    Chain stage caps are ``(n_points, max_stages)`` zero-padded arrays
+    with per-point stage counts alongside, exactly as
+    :func:`buffer_chain_batch` returns them.  CAM-only columns are
+    stored compactly over ``cam_idx``.
+    """
+
+    batch: BrickSpecBatch
+    tech_name: str
+    cell: dict
+    nand_cap: float
+    wl_caps: np.ndarray
+    wl_n: np.ndarray
+    w_sense_n: np.ndarray
+    w_sense_p: np.ndarray
+    w_pull: np.ndarray
+    w_precharge: np.ndarray
+    ctrl_caps: np.ndarray
+    ctrl_n: np.ndarray
+    preb_caps: np.ndarray
+    preb_n: np.ndarray
+    cam_idx: np.ndarray
+    sl_caps: np.ndarray
+    sl_n: np.ndarray
+    w_ml_pre: np.ndarray
+    w_ml_sense_n: np.ndarray
+    w_ml_sense_p: np.ndarray
+
+
+def compile_batch(batch: BrickSpecBatch,
+                  tech: Technology) -> CompiledBrickBatch:
+    """Vectorized :func:`~repro.bricks.compiler.compile_brick`.
+
+    Same sizing rules, same polarity forcing, shared ``rho`` fixed
+    point — every point gets the stage counts and widths the scalar
+    compiler would pick for it.
+    """
+    n = batch.n_points
+    cell = _gather_bitcells(batch.memory_code, tech)
+    layer = tech.layer(tech.local_layer)
+    bl_layer = tech.layer(tech.bitline_layer)
+    c_unit = unit_input_cap(tech)
+    words = batch.words.astype(np.float64)
+    bits = batch.bits.astype(np.float64)
+    stack = batch.stack.astype(np.float64)
+
+    # --- wordline driver (odd chain, NAND-gated) -------------------------
+    c_wl_wire = layer.c_per_um * (bits * cell["width_um"])
+    wl_load = c_wl_wire + bits * cell["c_rwl"]
+    nand_cap = 1.0 * c_unit
+    wl_caps, wl_n, _ = buffer_chain_batch(
+        np.full(n, nand_cap), wl_load, tech, parity="odd")
+
+    # --- local sense / ARBL pull-down ------------------------------------
+    brick_height = words * cell["height_um"] + 2.0 * cell["height_um"]
+    arbl_wire = bl_layer.c_per_um * brick_height
+    c_out = 4.0 * c_unit
+    c_fixed = stack * arbl_wire + c_out
+    denom = np.maximum(4.0 * tech.c_gate - stack * tech.c_diff,
+                       2.0 * tech.c_gate)
+    w_pull = np.minimum(np.maximum(tech.w_min_um, c_fixed / denom),
+                        16.0 * tech.w_min_um)
+    w_sense_n = np.maximum(2.0 * tech.w_min_um, w_pull / 6.0)
+    w_sense_p = w_sense_n * tech.inverter_beta()
+    w_precharge = np.maximum(tech.w_min_um, w_pull / 6.0)
+
+    # --- control block (even chain + odd precharge-bar branch) -----------
+    enable_load = words * nand_cap
+    ctrl_caps, ctrl_n, _ = buffer_chain_batch(
+        np.full(n, 2.0 * c_unit), enable_load, tech, parity="even")
+    preb_load = 2.0 * bits * tech.c_gate * w_precharge
+    first = ctrl_caps[:, 0] if n else np.zeros(0)
+    preb_caps, preb_n, _ = buffer_chain_batch(first, preb_load, tech,
+                                              parity="odd")
+
+    # --- CAM match periphery (compact over the CAM subset) ---------------
+    cam_idx = np.flatnonzero(batch.is_cam)
+    c_sl_wire = layer.c_per_um * (words[cam_idx]
+                                  * cell["height_um"][cam_idx])
+    sl_load = c_sl_wire + words[cam_idx] * cell["c_sl"][cam_idx]
+    sl_caps, sl_n, _ = buffer_chain_batch(
+        np.full(cam_idx.shape[0], 2.0 * c_unit), sl_load, tech,
+        parity="even")
+    w_ml_sense_n = np.full(cam_idx.shape[0], 2.0 * tech.w_min_um)
+
+    return CompiledBrickBatch(
+        batch=batch, tech_name=tech.name, cell=cell, nand_cap=nand_cap,
+        wl_caps=wl_caps, wl_n=wl_n,
+        w_sense_n=w_sense_n, w_sense_p=w_sense_p, w_pull=w_pull,
+        w_precharge=w_precharge,
+        ctrl_caps=ctrl_caps, ctrl_n=ctrl_n,
+        preb_caps=preb_caps, preb_n=preb_n,
+        cam_idx=cam_idx, sl_caps=sl_caps, sl_n=sl_n,
+        w_ml_pre=np.full(cam_idx.shape[0], 2.0 * tech.w_min_um),
+        w_ml_sense_n=w_ml_sense_n,
+        w_ml_sense_p=w_ml_sense_n * tech.inverter_beta(),
+    )
+
+
+# --------------------------------------------------------------------------
+# Masked per-stage accumulations.  Each helper walks the padded stage
+# columns in the same order the scalar loops walk their tuples, so the
+# float accumulation order (and therefore the result, to the last ulp)
+# matches the per-point code.
+# --------------------------------------------------------------------------
+
+
+def _chain_delay(caps: np.ndarray, n_stages: np.ndarray, load,
+                 tech: Technology) -> np.ndarray:
+    """Vectorized ``estimator._inv_chain_delay`` over padded chains."""
+    n_pts, max_s = caps.shape
+    delay = np.zeros(n_pts)
+    inv_denom = tech.c_gate * (1.0 + tech.inverter_beta())
+    beta_w = tech.inverter_beta()
+    load = np.broadcast_to(np.asarray(load, dtype=np.float64), (n_pts,))
+    for i in range(max_s):
+        active = i < n_stages
+        c_in = caps[:, i]
+        if i + 1 < max_s:
+            c_out = np.where((i + 1) < n_stages, caps[:, i + 1], load)
+        else:
+            c_out = load
+        with np.errstate(divide="ignore", invalid="ignore"):
+            w_n = c_in / inv_denom
+            w_p = beta_w * w_n
+            r_drive = 0.5 * (tech.r_on_n / w_n + tech.r_on_p / w_p)
+            c_self = tech.c_diff * (w_n + w_p)
+            term = _K50 * r_drive * (c_out + c_self)
+        delay = delay + np.where(active, term, 0.0)
+    return delay
+
+
+def _chain_width(caps: np.ndarray, n_stages: np.ndarray,
+                 tech: Technology, acc: np.ndarray) -> np.ndarray:
+    """Accumulate per-stage ``w_n + w_p`` onto ``acc`` (leafcell
+    ``total_width_um`` loops)."""
+    inv_denom = tech.c_gate * (1.0 + tech.inverter_beta())
+    beta_w = tech.inverter_beta()
+    for i in range(caps.shape[1]):
+        w_n = caps[:, i] / inv_denom
+        w_p = beta_w * w_n
+        acc = acc + np.where(i < n_stages, w_n + w_p, 0.0)
+    return acc
+
+
+def _chain_internal_cap(caps: np.ndarray, n_stages: np.ndarray,
+                        tech: Technology, acc: np.ndarray,
+                        with_stage_cap: bool = True) -> np.ndarray:
+    """Accumulate per-stage ``[stage_cap +] c_diff * (w_n + w_p)``."""
+    inv_denom = tech.c_gate * (1.0 + tech.inverter_beta())
+    beta_w = tech.inverter_beta()
+    for i in range(caps.shape[1]):
+        c_in = caps[:, i]
+        w_n = c_in / inv_denom
+        w_p = beta_w * w_n
+        term = tech.c_diff * (w_n + w_p)
+        if with_stage_cap:
+            term = c_in + term
+        acc = acc + np.where(i < n_stages, term, 0.0)
+    return acc
+
+
+def estimate_batch(compiled: CompiledBrickBatch, tech: Technology,
+                   out_load: Optional[float] = None
+                   ) -> List[BrickPerformance]:
+    """Vectorized :func:`~repro.bricks.estimator.estimate_brick`.
+
+    Prices every point of the compiled population at once and packs the
+    results back into the same per-point :class:`BrickPerformance`
+    objects (plain-float fields) the scalar estimator returns.
+    ``out_load`` applies to every point unless the batch carries its own
+    per-point ``out_load`` column.
+    """
+    if compiled.tech_name != tech.name:
+        raise BrickError(
+            f"batch compiled for {compiled.tech_name!r}, "
+            f"estimated in {tech.name!r}")
+    batch = compiled.batch
+    n = batch.n_points
+    if n == 0:
+        return []
+    cell = compiled.cell
+    layer = tech.layer(tech.local_layer)
+    bl_layer = tech.layer(tech.bitline_layer)
+    c_unit = unit_input_cap(tech)
+    vdd = tech.vdd
+    words = batch.words.astype(np.float64)
+    bits = batch.bits.astype(np.float64)
+    stack = batch.stack.astype(np.float64)
+    if batch.out_load is not None:
+        load_out = batch.out_load
+    elif out_load is not None:
+        load_out = np.full(n, float(out_load))
+    else:
+        load_out = np.full(n, 4.0 * c_unit)
+
+    # ------------------------------------------------------- read delay --
+    enable_net = words * compiled.nand_cap
+    preb_net_active = bits * tech.c_gate * (compiled.w_precharge
+                                            + compiled.w_pull)
+    preb_net_idle = bits * tech.c_gate * compiled.w_precharge
+    t_ctrl = _chain_delay(compiled.ctrl_caps, compiled.ctrl_n,
+                          enable_net, tech)
+
+    first_stage = compiled.wl_caps[:, 0]
+    w_nand_n, w_nand_p = inverter_widths(compiled.nand_cap, tech)
+    r_nand = 0.5 * (tech.r_on_n / w_nand_n + tech.r_on_p / w_nand_p)
+    c_nand_self = tech.c_diff * (2 * w_nand_n + 2 * w_nand_p)
+    t_nand = _K50 * r_nand * (first_stage + c_nand_self)
+
+    wl_len = bits * cell["width_um"]
+    r_wl_wire = layer.r_per_um * wl_len
+    c_wl_wire = layer.c_per_um * wl_len
+    c_wl_taps = bits * cell["c_rwl"]
+    t_chain = _chain_delay(compiled.wl_caps, compiled.wl_n,
+                           c_wl_wire + c_wl_taps, tech)
+
+    lbl_len = words * cell["height_um"]
+    r_lbl_wire = layer.r_per_um * lbl_len
+    c_lbl_wire = layer.c_per_um * lbl_len
+    lbl_load = tech.c_gate * (compiled.w_sense_n + compiled.w_sense_p) \
+        + tech.c_diff * compiled.w_precharge
+    c_lbl = c_lbl_wire + words * cell["c_rbl"] + lbl_load
+
+    t_sense = _K50 * (tech.r_on_p / compiled.w_sense_p) * (
+        tech.c_gate * compiled.w_pull
+        + (tech.c_gate * compiled.w_pull
+           + tech.c_diff * (compiled.w_sense_n + compiled.w_sense_p)))
+
+    brick_height = words * cell["height_um"] + 2.0 * cell["height_um"]
+    arbl_per_brick = bl_layer.c_per_um * brick_height \
+        + tech.c_diff * compiled.w_pull
+    c_arbl = stack * arbl_per_brick + load_out
+    r_arbl_wire = bl_layer.r_per_um * (stack * brick_height)
+    r_pull = tech.r_on_n / compiled.w_pull
+
+    # CAM matchline geometry (compact columns over cam_idx).
+    cam = compiled.cam_idx
+    ml_len = bits[cam] * cell["width_um"][cam]
+    r_ml_wire = layer.r_per_um * ml_len
+    c_ml_wire = layer.c_per_um * ml_len
+    c_ml = (c_ml_wire + bits[cam] * cell["c_ml"][cam]
+            + tech.c_diff * compiled.w_ml_pre
+            + tech.c_gate * (compiled.w_ml_sense_n
+                             + compiled.w_ml_sense_p))
+    r_match = cell["r_match"][cam]
+
+    # One block-diagonal Elmore solve covers every wire of the whole
+    # population: wordline, local bitline, stacked ARBL and (for CAM
+    # points) matchline, each a one-segment ladder with the rest of the
+    # net folded into driver resistance / root and segment caps.
+    lbl_seg = c_lbl_wire / 2.0 + lbl_load
+    ml_seg = c_ml_wire / 2.0
+    zeros = np.zeros(n)
+    el = ladder_elmore_batch(
+        np.concatenate([r_wl_wire, r_lbl_wire, r_arbl_wire,
+                        r_ml_wire])[:, None],
+        np.concatenate([c_wl_wire / 2.0 + c_wl_taps / 2.0, lbl_seg,
+                        c_arbl / 2.0, ml_seg])[:, None],
+        r_drive=np.concatenate([zeros, cell["r_read"], r_pull, r_match]),
+        root_cap=np.concatenate([zeros, c_lbl - lbl_seg, c_arbl / 2.0,
+                                 c_ml - ml_seg]),
+    )
+    t_wl_wire = _K50 * el[:n]
+    t_cell = _K50 * el[n:2 * n]
+    t_arbl = _K50 * el[2 * n:3 * n]
+    t_ml = _K50 * el[3 * n:]
+
+    read_delay = t_ctrl + t_nand + t_chain + t_wl_wire + t_cell + \
+        t_sense + t_arbl
+
+    # ------------------------------------------------------- read energy --
+    n_discharge = ((batch.bits + 1) // 2).astype(np.float64)
+    # ControlBlock.internal_cap runs three loops in order: stage caps
+    # past the first, then every stage's diffusion, then the
+    # precharge-bar branch (stage cap + diffusion).
+    ctrl_internal = _chain_stage_caps_only(
+        compiled.ctrl_caps, compiled.ctrl_n, np.zeros(n))
+    ctrl_internal = _chain_internal_cap(
+        compiled.ctrl_caps, compiled.ctrl_n, tech, ctrl_internal,
+        with_stage_cap=False)
+    ctrl_internal = _chain_internal_cap(
+        compiled.preb_caps, compiled.preb_n, tech, ctrl_internal)
+
+    wl_internal = _chain_internal_cap(
+        compiled.wl_caps, compiled.wl_n, tech,
+        np.full(n, c_nand_self), with_stage_cap=True)
+    sense_internal = tech.c_gate * compiled.w_pull + tech.c_diff * (
+        compiled.w_sense_n + compiled.w_sense_p)
+    clock_cap = compiled.ctrl_caps[:, 0]
+
+    e_ctrl = (ctrl_internal + enable_net + preb_net_active
+              + clock_cap) * vdd * vdd
+    e_wl = (c_wl_wire + c_wl_taps + wl_internal) * vdd * vdd
+    e_lbl = n_discharge * (c_lbl * vdd * vdd)
+    e_sense = n_discharge * (sense_internal * vdd * vdd)
+    e_arbl = n_discharge * (c_arbl * vdd * vdd)
+    e_idle = (stack - 1.0) * ((ctrl_internal + enable_net
+                               + preb_net_idle + clock_cap) * vdd * vdd)
+    t_overlap = _CROWBAR_FO4 * tech.fo4_delay()
+    e_crowbar = bits * vdd * vdd * (
+        compiled.w_precharge / tech.r_on_p) * t_overlap
+    read_energy = (e_ctrl + e_wl + e_lbl + e_sense + e_arbl + e_idle
+                   + e_crowbar)
+
+    # ------------------------------------------------------- write energy --
+    c_wbl_bank = stack * (bl_layer.c_per_um * lbl_len
+                          + words * cell["c_wbl"])
+    e_wbl = n_discharge * (c_wbl_bank * vdd * vdd)
+    c_wwl = c_wl_wire + bits * cell["c_wwl"]
+    e_wwl = (c_wwl + wl_internal) * vdd * vdd
+    write_energy = e_ctrl + e_wwl + e_wbl + e_idle
+
+    # ------------------------------------------------------- constraints --
+    fo4 = tech.fo4_delay()
+    setup = 2.0 * fo4 + t_ctrl
+    hold = 0.5 * fo4
+
+    # ------------------------------------------------------- CAM match --
+    t_sl_chain = _chain_delay(compiled.sl_caps, compiled.sl_n,
+                              _searchline_cap(compiled, tech), tech)
+    w_sp = compiled.w_ml_sense_p
+    t_ml_sense = _K50 * (tech.r_on_p / w_sp) * (
+        4.0 * c_unit + tech.c_diff * (compiled.w_ml_sense_n + w_sp))
+    match_delay = t_ctrl[cam] + t_sl_chain + t_ml + t_ml_sense
+
+    sl_internal = np.zeros(cam.shape[0])
+    inv_denom = tech.c_gate * (1.0 + tech.inverter_beta())
+    beta_w = tech.inverter_beta()
+    for i in range(compiled.sl_caps.shape[1]):
+        c_in = compiled.sl_caps[:, i]
+        active = i < compiled.sl_n
+        w_n = c_in / inv_denom
+        w_p = beta_w * w_n
+        sl_internal = sl_internal + np.where(
+            active, tech.c_diff * (w_n + w_p), 0.0)
+        if i > 0:
+            sl_internal = sl_internal + np.where(active, c_in, 0.0)
+    e_sl = bits[cam] * ((_searchline_cap(compiled, tech) + sl_internal)
+                        * vdd * vdd)
+    e_ml = np.maximum(batch.words[cam] - 1, 1).astype(np.float64) * (
+        c_ml * vdd * vdd)
+    match_energy = e_ctrl[cam] + e_sl + e_ml + e_idle[cam]
+
+    # ------------------------------------------------------- area/leak --
+    # Analytic transcription of layout.generate_layout: the generated
+    # strip geometry is a closed form of the leaf areas, and generated
+    # pattern grids are hotspot-free by construction, so the batch path
+    # prices area without building a grid.
+    wl_total_w = _chain_width(
+        compiled.wl_caps, compiled.wl_n, tech,
+        np.full(n, 2 * (2 * w_nand_n + w_nand_p)))
+    sense_total_w = (compiled.w_sense_n + compiled.w_sense_p
+                     + compiled.w_pull + compiled.w_precharge)
+    ctrl_total_w = _chain_width(
+        compiled.preb_caps, compiled.preb_n, tech,
+        _chain_width(compiled.ctrl_caps, compiled.ctrl_n, tech,
+                     np.zeros(n)))
+
+    array_w = bits * cell["width_um"]
+    array_h = words * cell["height_um"]
+    poly = tech.poly_pitch_um
+    m1 = tech.m1_pitch_um
+    wl_area = words * (np.maximum(
+        wl_total_w * poly / (2.0 * tech.w_min_um), poly)
+        * cell["height_um"])
+    wl_strip_w = np.maximum(poly * 2,
+                            wl_area / np.maximum(array_h, 1e-9))
+    sense_area = bits * (np.maximum(
+        sense_total_w * m1 / (2.0 * tech.w_min_um), m1)
+        * cell["width_um"])
+    sense_strip_h = np.maximum(sense_area / np.maximum(array_w, 1e-9),
+                               m1 * 2)
+    ctrl_area = np.maximum(
+        ctrl_total_w * poly / (2.0 * tech.w_min_um), poly) \
+        * tech.row_height_um
+
+    is_cam = batch.is_cam
+    sl_area = bits * cell["width_um"] * m1 * 4
+    sl_strip_h = np.where(
+        is_cam,
+        np.maximum(sl_area / np.maximum(array_w, 1e-9), m1 * 2), 0.0)
+    ml_area = words * cell["height_um"] * poly * 3
+    ml_strip_w = np.where(
+        is_cam,
+        np.maximum(ml_area / np.maximum(array_h, 1e-9), poly * 2), 0.0)
+
+    width = wl_strip_w + array_w + ml_strip_w
+    height = sense_strip_h + array_h + sl_strip_h
+    fold = ctrl_area > wl_strip_w * sense_strip_h
+    extra = np.where(
+        fold, (ctrl_area - wl_strip_w * sense_strip_h) / width, 0.0)
+    height = height + extra
+    brick_area = width * height
+
+    n_cells = (batch.words * batch.bits).astype(np.float64)
+    leak_cells = n_cells * cell["i_leak"] * vdd
+    periph_width = (wl_total_w * words + sense_total_w * bits
+                    + ctrl_total_w)
+    leak_periph = tech.i_leak_n * periph_width * 0.5 * vdd
+    leakage = stack * (leak_cells + leak_periph)
+
+    return _pack(batch, compiled, read_delay, read_energy, write_energy,
+                 setup, hold, stack * clock_cap, c_wbl_bank,
+                 brick_area * stack, leakage, match_delay, match_energy,
+                 t_ctrl, t_nand, t_chain, t_wl_wire, t_cell, t_sense,
+                 t_arbl, e_ctrl, e_wl, e_lbl, e_sense, e_arbl, e_idle,
+                 e_crowbar, e_wbl, e_wwl)
+
+
+def _searchline_cap(compiled: CompiledBrickBatch,
+                  tech: Technology) -> np.ndarray:
+    """Per-CAM-point searchline capacitance (wire + cell taps)."""
+    batch = compiled.batch
+    cam = compiled.cam_idx
+    words = batch.words.astype(np.float64)[cam]
+    height = compiled.cell["height_um"][cam]
+    layer = tech.layer(tech.local_layer)
+    return layer.c_per_um * (words * height) \
+        + words * compiled.cell["c_sl"][cam]
+
+
+def _chain_stage_caps_only(caps: np.ndarray, n_stages: np.ndarray,
+                           acc: np.ndarray) -> np.ndarray:
+    """Sum ``stage_caps[1:]`` per point (first control internal-cap
+    loop)."""
+    for i in range(1, caps.shape[1]):
+        acc = acc + np.where(i < n_stages, caps[:, i], 0.0)
+    return acc
+
+
+def _pack(batch, compiled, read_delay, read_energy, write_energy, setup,
+          hold, clock_cap, wbl_cap, area, leakage, match_delay,
+          match_energy, *components) -> List[BrickPerformance]:
+    """Scatter the result columns back into per-point scalar objects."""
+    comp_keys = ("t_ctrl", "t_nand", "t_chain", "t_wl_wire", "t_cell",
+                 "t_sense", "t_arbl", "e_ctrl", "e_wl", "e_lbl",
+                 "e_sense", "e_arbl", "e_idle", "e_crowbar", "e_wbl",
+                 "e_wwl")
+    cols = [col.tolist() for col in
+            (read_delay, read_energy, write_energy, setup, clock_cap,
+             wbl_cap, area, leakage) + components]
+    (rd, re_, we, su, cc, wb, ar, lk) = cols[:8]
+    comp_cols = cols[8:]
+    match_pos = {int(idx): j
+                 for j, idx in enumerate(compiled.cam_idx.tolist())}
+    match_delay = match_delay.tolist()
+    match_energy = match_energy.tolist()
+    hold = float(hold)
+    dwl_cap = float(compiled.nand_cap)
+    words = batch.words.tolist()
+    bits = batch.bits.tolist()
+    stacks = batch.stack.tolist()
+    types = [MEMORY_TYPES[code] for code in batch.memory_code.tolist()]
+    out: List[BrickPerformance] = []
+    for i in range(batch.n_points):
+        j = match_pos.get(i)
+        out.append(BrickPerformance(
+            brick_name=_brick_name(types[i], words[i], bits[i]),
+            stack=stacks[i],
+            read_delay=rd[i], read_energy=re_[i], write_energy=we[i],
+            setup=su[i], hold=hold,
+            clock_cap=cc[i], dwl_cap=dwl_cap, wbl_cap=wb[i],
+            area_um2=ar[i], leakage_w=lk[i],
+            match_delay=None if j is None else match_delay[j],
+            match_energy=None if j is None else match_energy[j],
+            components={key: col[i]
+                        for key, col in zip(comp_keys, comp_cols)},
+        ))
+    return out
+
+
+def estimate_brick_batch(points: Sequence[Tuple], tech: Technology,
+                         out_load: Optional[float] = None
+                         ) -> List[BrickPerformance]:
+    """Compile and price a population of ``(spec, stack)`` points.
+
+    The one-call entry the characterization layer uses: equivalent to
+    ``[estimate_brick(compile_brick(s, tech, k), tech, stack=k)
+    for s, k in points]`` but array-shaped end to end.
+    """
+    batch = BrickSpecBatch.from_points(points)
+    return estimate_batch(compile_batch(batch, tech), tech,
+                          out_load=out_load)

@@ -122,6 +122,18 @@ def size_path(gates: Sequence[GateType], c_in: float, c_load: float,
                      delay_units * le_tau(tech))
 
 
+def optimal_stage_effort(p_inv: float = 1.0) -> float:
+    """Best per-stage effort ``rho`` satisfying ``rho = exp(1+p/rho)``.
+
+    For ``p_inv`` = 1 this is the classic ~3.59.  Shared by the scalar
+    and the vectorized chain sizers so both pick identical stage counts.
+    """
+    rho = 3.59
+    for _ in range(32):
+        rho = math.exp(1.0 + p_inv / rho)
+    return rho
+
+
 def optimal_stage_count(f_path: float, p_inv: float = 1.0) -> int:
     """Number of stages minimizing delay for a path effort ``f_path``.
 
@@ -131,9 +143,7 @@ def optimal_stage_count(f_path: float, p_inv: float = 1.0) -> int:
     """
     if f_path <= 0:
         raise SizingError("path effort must be positive")
-    rho = 3.59
-    for _ in range(32):
-        rho = math.exp(1.0 + p_inv / rho)
+    rho = optimal_stage_effort(p_inv)
     n = max(1, round(math.log(f_path) / math.log(rho)))
     return n
 
@@ -163,6 +173,59 @@ def buffer_chain(c_in: float, c_load: float, tech: Technology,
     caps = [c_in * f_hat ** i for i in range(n)]
     delay_units = n * f_hat + n * p_inv
     return caps, delay_units * le_tau(tech)
+
+
+def buffer_chain_batch(c_in, c_load, tech: Technology,
+                       parity: Optional[str] = None):
+    """Vectorized :func:`buffer_chain` over a population of chains.
+
+    ``c_in``/``c_load`` are same-length arrays of first-stage input
+    capacitance and final load.  ``parity`` replicates the compiler's
+    polarity idiom: ``"odd"``/``"even"`` bumps any chain whose optimal
+    stage count has the wrong parity to the next count, exactly as the
+    scalar ``force_stages=n + 1`` retry does.
+
+    Returns ``(stage_caps, n_stages, delay_s)`` where ``stage_caps`` is
+    a ``(n_chains, max_stages)`` array padded with zeros past each
+    chain's ``n_stages[i]``, and ``delay_s`` the absolute chain delays.
+    Per-chain results match the scalar sizer to the last ulp (same
+    formulas, same evaluation order).
+    """
+    import numpy as np
+
+    c_in = np.asarray(c_in, dtype=np.float64)
+    c_load = np.asarray(c_load, dtype=np.float64)
+    if c_in.shape != c_load.shape or c_in.ndim != 1:
+        raise SizingError("c_in and c_load must be 1-D and same length")
+    if c_in.size == 0:
+        return (np.zeros((0, 0)), np.zeros(0, dtype=np.int64),
+                np.zeros(0))
+    if not (np.isfinite(c_in).all() and np.isfinite(c_load).all()):
+        raise SizingError("buffer chain caps must be finite")
+    if (c_in <= 0).any() or (c_load <= 0).any():
+        raise SizingError("buffer chain caps must be positive")
+    if parity not in (None, "odd", "even"):
+        raise SizingError(f"parity must be None/'odd'/'even', "
+                          f"got {parity!r}")
+    fanout = c_load / c_in
+    p_inv = parasitic_inv(tech)
+    rho = optimal_stage_effort(p_inv)
+    with np.errstate(divide="ignore"):
+        raw = np.log(fanout) / math.log(rho)
+    n = np.where(fanout <= 1.0, 1,
+                 np.maximum(1, np.round(raw)).astype(np.int64))
+    n = n.astype(np.int64)
+    if parity == "odd":
+        n = n + (n % 2 == 0)
+    elif parity == "even":
+        n = n + (n % 2 == 1)
+    f_hat = fanout ** (1.0 / n)
+    max_n = int(n.max())
+    stages = np.arange(max_n, dtype=np.float64)
+    caps = c_in[:, None] * f_hat[:, None] ** stages[None, :]
+    caps = np.where(stages[None, :] < n[:, None], caps, 0.0)
+    delay_units = n * f_hat + n * p_inv
+    return caps, n, delay_units * le_tau(tech)
 
 
 def gate_delay(gate: GateType, drive_cap: float, c_load: float,

@@ -148,3 +148,74 @@ def wire_tree(layer: WireLayer, length_um: float, r_drive: float,
     tree.add_ladder("root", "w", layer.segments(length_um, n_segments),
                     tail_cap=c_load)
     return tree
+
+
+def ladder_elmore_batch(r_segs, c_segs, r_drive=0.0, root_cap=0.0,
+                        tail_cap=0.0, n_segs=None):
+    """Elmore delay to the tail of many RC ladders in one batched solve.
+
+    This is the array-shaped counterpart of building one
+    :class:`RCTree` ladder per net and calling :meth:`RCTree.elmore` on
+    its tail: the first moments of *all* ladders are obtained from one
+    block-diagonal system assembly.  For a grounded-cap ladder the MNA
+    conductance matrix is bidiagonal, so the moment solve
+    ``G m = c`` reduces to a suffix-sum of downstream capacitance
+    followed by a weighted prefix accumulation — both vectorized over
+    the whole population.
+
+    Parameters
+    ----------
+    r_segs / c_segs:
+        ``(n_ladders, max_segments)`` arrays of per-segment resistance
+        and grounded capacitance (1-D inputs are treated as one
+        ladder).  Ladders shorter than ``max_segments`` are padded;
+        ``n_segs`` gives the true per-ladder segment counts (default:
+        every ladder uses the full width).
+    r_drive / root_cap / tail_cap:
+        Scalar or per-ladder driver resistance, cap at the driver node
+        and extra cap on each ladder's final node — the same knobs
+        :class:`RCTree` and :meth:`RCTree.add_ladder` expose.
+
+    Returns the per-ladder Elmore delay (seconds) from driver input to
+    the final ladder node, identical to the per-tree traversal.
+    """
+    import numpy as np
+
+    r = np.atleast_2d(np.asarray(r_segs, dtype=np.float64))
+    c = np.atleast_2d(np.asarray(c_segs, dtype=np.float64))
+    if r.shape != c.shape:
+        raise NetlistError("r_segs and c_segs must have the same shape")
+    n_ladders, width = r.shape
+    if width < 1:
+        raise NetlistError("RC ladder needs at least one segment")
+    if n_segs is None:
+        n = np.full(n_ladders, width, dtype=np.int64)
+    else:
+        n = np.asarray(n_segs, dtype=np.int64)
+        if n.shape != (n_ladders,):
+            raise NetlistError("n_segs must give one count per ladder")
+        if (n < 1).any() or (n > width).any():
+            raise NetlistError(
+                f"segment counts must be in [1, {width}]")
+    r_drive = np.broadcast_to(
+        np.asarray(r_drive, dtype=np.float64), (n_ladders,))
+    root_cap = np.broadcast_to(
+        np.asarray(root_cap, dtype=np.float64), (n_ladders,))
+    tail_cap = np.broadcast_to(
+        np.asarray(tail_cap, dtype=np.float64), (n_ladders,))
+    mask = np.arange(width)[None, :] < n[:, None]
+    if (np.where(mask, r, 0.0) < 0).any() or \
+            (np.where(mask, c, 0.0) < 0).any() or \
+            (r_drive < 0).any() or (root_cap < 0).any():
+        raise NetlistError("resistance and capacitance must be >= 0")
+    c_eff = np.where(mask, c, 0.0)
+    c_eff = c_eff + np.where(
+        np.arange(width)[None, :] == (n - 1)[:, None],
+        tail_cap[:, None], 0.0)
+    # Downstream capacitance at-and-below each ladder node: a reversed
+    # cumulative sum plays the role of the tree's post-order pass.
+    downstream = np.cumsum(c_eff[:, ::-1], axis=1)[:, ::-1]
+    total_cap = root_cap + downstream[:, 0]
+    delay = r_drive * total_cap + np.sum(
+        np.where(mask, r, 0.0) * downstream, axis=1)
+    return delay

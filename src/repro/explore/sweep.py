@@ -153,7 +153,8 @@ def sweep_partitions(tech: Optional[Technology] = None,
                                     cache=session.cache,
                                     keep_going=keep_going,
                                     tracer=session.tracer,
-                                    sink=session.sink)
+                                    sink=session.sink,
+                                    metrics=session.metrics)
         points: List[SweepPoint] = []
         failures: List[FailedPoint] = []
         for (bits, brick_words, total_words, stack), est in zip(

@@ -5,8 +5,9 @@ session's master seed, scores each against a :class:`RepairPlan`, and
 rolls the results up to bank granularity (a bank needs *all* its
 ``stack x partitions`` bricks good).  The price of the repair
 resources — spare rows/columns and optional SEC-DED check bits — is
-charged through :func:`repro.perf.characterize.cached_estimate` on the
-expanded geometry, plus the elaborated standard-cell area of the ECC
+charged through one :func:`repro.perf.characterize.estimate_points`
+batch (nominal + expanded geometry priced by the vectorized kernel),
+plus the elaborated standard-cell area of the ECC
 encoder/decoder, so overhead numbers come from the same models as
 every other figure in the flow.
 
@@ -22,7 +23,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..bricks.spec import BrickSpec
 from ..errors import YieldError
-from ..perf.characterize import cached_estimate, cached_stdcell_library
+from ..perf.characterize import cached_stdcell_library, estimate_points
 from ..session import Session
 from .defects import DefectModel, inject
 from .repair import RepairOutcome, RepairPlan, apply_repair, repaired_spec
@@ -188,11 +189,11 @@ def analyze_yield(spec: BrickSpec, stack: int = 1, partitions: int = 1,
 
         with session.span("price_overheads", kind="phase",
                           ecc=plan.ecc):
-            nominal = cached_estimate(spec, session.tech, stack,
-                                      cache=session.cache)
-            expanded = cached_estimate(repaired_spec(spec, plan),
-                                       session.tech, stack,
-                                       cache=session.cache)
+            nominal, expanded = estimate_points(
+                [(spec, stack), (repaired_spec(spec, plan), stack)],
+                session.tech, jobs=1, cache=session.cache,
+                tracer=session.tracer, sink=session.sink,
+                metrics=session.metrics)
             ecc_area = (_ecc_logic_area(spec.bits, session)
                         if plan.ecc else 0.0)
     bank_area = nominal.area_um2 * stack

@@ -43,21 +43,37 @@ def span_record(span: Span) -> Dict[str, Any]:
     }
 
 
+def _is_timing_gauge(name: str) -> bool:
+    """Gauge names whose value is wall-clock-derived, by convention:
+    the last dotted component is ``ns_*`` / ``*_ns`` / ``*_s`` (e.g.
+    ``estimator.batch.ns_per_point``)."""
+    leaf = name.rsplit(".", 1)[-1]
+    return (leaf.startswith("ns_") or leaf.endswith("_ns")
+            or leaf.endswith("_s"))
+
+
 def strip_timing(record: Dict[str, Any]) -> Dict[str, Any]:
     """A copy of ``record`` with every wall-clock field removed.
 
     Span records lose :data:`TIMING_FIELDS`; a metrics record loses its
-    histogram timing fields (counts are kept — they are deterministic).
+    histogram timing fields and timing-valued gauges (counts are kept —
+    they are deterministic).
     """
     stripped = {key: value for key, value in record.items()
                 if key not in TIMING_FIELDS}
     if record.get("type") == "metrics":
-        histograms = stripped.get("metrics", {}).get("histograms")
-        if histograms:
+        metrics = stripped.get("metrics", {})
+        histograms = metrics.get("histograms")
+        timing_gauges = [name for name in metrics.get("gauges", {})
+                         if _is_timing_gauge(name)]
+        if histograms or timing_gauges:
             stripped = json.loads(json.dumps(stripped))  # deep copy
-            for hist in stripped["metrics"]["histograms"].values():
+            for hist in stripped["metrics"].get("histograms",
+                                                {}).values():
                 for key in [k for k in hist if k.endswith("_s")]:
                     del hist[key]
+            for name in timing_gauges:
+                del stripped["metrics"]["gauges"][name]
     return stripped
 
 

@@ -52,6 +52,7 @@ from .parallel import (
     ExecutorPolicy,
     ExecutorStats,
     TaskFailure,
+    chunk_slices,
     default_executor_policy,
     executor_stats,
     parallel_map,
@@ -68,7 +69,7 @@ __all__ = [
     "cached_measure_read", "cached_stdcell_library",
     "characterize_cells", "estimate_points",
     "KEY_SCHEMA_VERSION", "cache_key", "fingerprint",
-    "ExecutorPolicy", "ExecutorStats", "TaskFailure",
+    "ExecutorPolicy", "ExecutorStats", "TaskFailure", "chunk_slices",
     "default_executor_policy", "executor_stats", "parallel_map",
     "reset_executor_stats", "resolve_jobs",
     "set_default_executor_policy",

@@ -18,17 +18,21 @@ warms the cache exactly like a serial one.
 
 from __future__ import annotations
 
+import time
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..bricks.compiler import CompiledBrick, compile_brick
 from ..bricks.estimator import BrickPerformance, estimate_brick
 from ..bricks.spec import BrickSpec
 from ..liberty.models import CellModel, LibraryModel
+from ..obs.metrics import MetricsRegistry
 from ..obs.trace import Tracer, maybe_span
 from ..tech.technology import Technology
 from .cache import CharacterizationCache, resolve_cache
 from .fingerprint import cache_key
-from .parallel import TaskFailure, parallel_map
+from .parallel import TaskFailure, chunk_slices, parallel_map, \
+    resolve_jobs
 
 # --- single-artifact memoizations ----------------------------------------
 
@@ -138,6 +142,55 @@ def _estimate_worker(task: Tuple[BrickSpec, int, Technology]
     return estimate_brick(compiled, tech, stack=stack)
 
 
+@dataclass(frozen=True)
+class _PointFailure:
+    """Picklable per-point failure marker a batch worker returns under
+    ``keep_going`` (expanded to :class:`TaskFailure` by the parent)."""
+
+    error: str
+    kind: str
+
+
+def _batch_kernel(points: Sequence[Tuple[BrickSpec, int]],
+                  tech: Technology) -> List[BrickPerformance]:
+    """The vectorized estimation kernel (a separate seam so tests can
+    disable it and exercise the scalar fallback)."""
+    from ..bricks.batch import estimate_brick_batch
+    return estimate_brick_batch(points, tech)
+
+
+def _estimate_batch_worker(
+        task: Tuple[Sequence[Tuple[BrickSpec, int]], Technology, bool]
+) -> List[Any]:
+    """Price one chunk of points: vector kernel first, scalar fallback.
+
+    Any vector-kernel failure (a degenerate point poisoning the whole
+    array call, or an environment without a working numpy) falls back to
+    the per-point scalar path, which isolates bad points: under
+    ``keep_going`` each failing point becomes a :class:`_PointFailure`
+    in its slot; otherwise the first scalar error propagates.
+    """
+    points, tech, keep_going = task
+    try:
+        results = _batch_kernel(points, tech)
+        if len(results) != len(points):
+            raise RuntimeError(
+                f"batch kernel returned {len(results)} results for "
+                f"{len(points)} points")
+        return results
+    except Exception:
+        results = []
+        for spec, stack in points:
+            try:
+                results.append(_estimate_worker((spec, stack, tech)))
+            except Exception as exc:
+                if not keep_going:
+                    raise
+                results.append(_PointFailure(error=str(exc),
+                                             kind=type(exc).__name__))
+        return results
+
+
 def _executor_fault_sink(sink):
     """An ``on_fault`` callback routing absorbed executor recoveries
     (timeouts, retried pool failures, broken pools) to a session event
@@ -176,7 +229,8 @@ def _batched(points: Sequence[Tuple[BrickSpec, int]], tech: Technology,
     cache = resolve_cache(cache)
     with maybe_span(tracer, f"characterize:{kind}", kind="batch",
                     n_requests=len(points)) as batch:
-        keys = [cache_key(kind, spec, tech, stack)
+        memo: Dict[int, str] = {}
+        keys = [cache_key(kind, spec, tech, stack, memo=memo)
                 for spec, stack in points]
         results: Dict[str, Any] = {}
         pending: List[Tuple[str, Tuple[BrickSpec, int, Technology]]] = []
@@ -233,13 +287,87 @@ def estimate_points(points: Sequence[Tuple[BrickSpec, int]],
                     cache: Optional[CharacterizationCache] = None,
                     keep_going: bool = False,
                     tracer: Optional[Tracer] = None,
-                    sink=None) -> List[BrickPerformance]:
+                    sink=None,
+                    metrics: Optional[MetricsRegistry] = None
+                    ) -> List[BrickPerformance]:
     """Closed-form estimates for ``(spec, stack)`` points, in order.
+
+    Batch-first: after the per-point cache probe (identical keys to the
+    scalar path, so warm hits still short-circuit), the unique cold
+    points are split into at most ``jobs`` contiguous chunks and each
+    chunk is priced as *one* executor task through the vectorized
+    kernel (:mod:`repro.bricks.batch`) — so ``executor.tasks`` counts
+    batches, and the serial recovery tier replays a whole batch.  The
+    scalar per-point path remains as the in-worker fallback.
 
     Under ``keep_going=True`` failed points come back as
     :class:`~repro.perf.parallel.TaskFailure` placeholders so the caller
-    can skip-and-record them.
+    can skip-and-record them.  ``metrics`` (when given) records
+    ``estimator.batch.points`` and ``estimator.batch.ns_per_point``.
     """
-    return _batched(points, tech, "estimate", _estimate_worker,
-                    jobs, cache, keep_going=keep_going,
-                    tracer=tracer, sink=sink)
+    cache = resolve_cache(cache)
+    with maybe_span(tracer, "characterize:estimate", kind="batch",
+                    n_requests=len(points)) as batch_span:
+        memo: Dict[int, str] = {}
+        keys = [cache_key("estimate", spec, tech, stack, memo=memo)
+                for spec, stack in points]
+        results: Dict[str, Any] = {}
+        pending: List[Tuple[str, Tuple[BrickSpec, int]]] = []
+        pending_keys = set()
+        with maybe_span(tracer, "cache_probe", kind="cache") as probe:
+            for (spec, stack), key in zip(points, keys):
+                if key in results or key in pending_keys:
+                    continue
+                found, value = cache.get(key)
+                if found:
+                    results[key] = value
+                else:
+                    pending.append((key, (spec, stack)))
+                    pending_keys.add(key)
+            if probe is not None:
+                probe.attrs.update(
+                    unique=len(results) + len(pending),
+                    hits=len(results), misses=len(pending))
+        if batch_span is not None:
+            batch_span.attrs.update(n_unique=len(results) + len(pending),
+                                    n_cold=len(pending))
+        if pending:
+            n_chunks = resolve_jobs(jobs, n_tasks=len(pending))
+            chunks = chunk_slices(len(pending), n_chunks)
+            # The batch fingerprint names the exact cold population (its
+            # per-point keys, in order) for traces and run reports.
+            batch_fp = cache_key("estimate_batch",
+                                 [key for key, _ in pending])
+            with maybe_span(tracer, "parallel_map", kind="task_group",
+                            tasks=len(chunks), jobs=n_chunks,
+                            points=len(pending),
+                            batch_fingerprint=batch_fp):
+                started = time.perf_counter()
+                chunk_results = parallel_map(
+                    _estimate_batch_worker,
+                    [(tuple(pending[i][1] for i in chunk), tech,
+                      keep_going) for chunk in chunks],
+                    jobs=n_chunks, return_errors=keep_going,
+                    on_fault=_executor_fault_sink(sink))
+                elapsed = time.perf_counter() - started
+            flat: List[Any] = []
+            for chunk, value in zip(chunks, chunk_results):
+                if isinstance(value, TaskFailure):
+                    flat.extend(value for _ in chunk)
+                else:
+                    flat.extend(value)
+            for i, ((key, _), value) in enumerate(zip(pending, flat)):
+                if isinstance(value, (_PointFailure, TaskFailure)):
+                    # Re-index chunk/worker failures to the point's
+                    # position among the cold points.
+                    value = TaskFailure(index=i, error=value.error,
+                                        kind=value.kind)
+                else:
+                    cache.put(key, value)
+                results[key] = value
+            if metrics is not None:
+                metrics.counter("estimator.batch.points").inc(
+                    len(pending))
+                metrics.gauge("estimator.batch.ns_per_point").set(
+                    elapsed * 1e9 / len(pending))
+        return [results[key] for key in keys]

@@ -19,20 +19,32 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
-from typing import Any
+from typing import Any, Dict, Optional
 
 #: Version of the key schema.  Bump whenever the canonical encoding, the
 #: cached payloads, or the characterization formulas change shape in a
 #: way that makes old disk entries unsound to reuse.
 KEY_SCHEMA_VERSION = 1
 
+#: Per-call encoding memo: ``id(obj) -> pre-joined token substream``.
+#: Sound only while every memoized object stays alive (the caller holds
+#: references for the duration of the batch), so memos must never
+#: outlive the call that created them.
+EncodeMemo = Dict[int, str]
 
-def _encode(obj: Any, out: list) -> None:
+_SEP = "\x1f"
+
+
+def _encode(obj: Any, out: list,
+            memo: Optional[EncodeMemo] = None) -> None:
     """Append a canonical token stream for ``obj`` to ``out``.
 
     Token streams are prefix-free per type (every composite value emits
     an open token carrying its length), so distinct structures can never
-    serialize to the same stream.
+    serialize to the same stream.  ``memo`` (when given) caches the
+    substream of dataclass instances by identity, so a batch of keys
+    sharing one big input — every estimate key embeds the same
+    ``Technology`` — encodes it once instead of once per key.
     """
     if obj is None or isinstance(obj, (bool, int)):
         out.append(repr(obj))
@@ -44,23 +56,37 @@ def _encode(obj: Any, out: list) -> None:
         out.append(f"b{len(obj)}:")
         out.append(obj.hex())
     elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        if memo is not None:
+            cached = memo.get(id(obj))
+            if cached is not None:
+                out.append(cached)
+                return
+        sub: list = []
         fields = dataclasses.fields(obj)
-        out.append(f"D{type(obj).__qualname__}:{len(fields)}(")
+        sub.append(f"D{type(obj).__qualname__}:{len(fields)}(")
         for f in sorted(fields, key=lambda f: f.name):
-            out.append(f.name)
-            _encode(getattr(obj, f.name), out)
-        out.append(")")
+            sub.append(f.name)
+            _encode(getattr(obj, f.name), sub, memo)
+        sub.append(")")
+        if memo is not None:
+            # Joined with the stream separator, one memoized element
+            # splices into the final join byte-identically to the
+            # un-memoized multi-element stream.
+            memo[id(obj)] = _SEP.join(sub)
+            out.append(memo[id(obj)])
+        else:
+            out.extend(sub)
     elif isinstance(obj, dict):
         items = sorted(obj.items(), key=lambda kv: repr(kv[0]))
         out.append(f"M{len(items)}(")
         for key, value in items:
-            _encode(key, out)
-            _encode(value, out)
+            _encode(key, out, memo)
+            _encode(value, out, memo)
         out.append(")")
     elif isinstance(obj, (list, tuple)):
         out.append(f"L{len(obj)}(")
         for item in obj:
-            _encode(item, out)
+            _encode(item, out, memo)
         out.append(")")
     else:
         try:
@@ -79,23 +105,28 @@ def _encode(obj: Any, out: list) -> None:
             f"{obj!r}")
 
 
-def fingerprint(obj: Any) -> str:
+def fingerprint(obj: Any, memo: Optional[EncodeMemo] = None) -> str:
     """Hex SHA-256 of the canonical encoding of ``obj``.
 
     Stable across processes and interpreter invocations: the encoding
-    uses no ``hash()``, no ``id()`` and no dict insertion order.
+    uses no dict insertion order and no ``hash()``; ``memo`` (an
+    :data:`EncodeMemo`) only short-circuits re-encoding of objects
+    already seen within the same batch, never changing the digest.
     """
     out: list = []
-    _encode(obj, out)
-    digest = hashlib.sha256("\x1f".join(out).encode("utf-8"))
+    _encode(obj, out, memo)
+    digest = hashlib.sha256(_SEP.join(out).encode("utf-8"))
     return digest.hexdigest()
 
 
-def cache_key(kind: str, *parts: Any) -> str:
+def cache_key(kind: str, *parts: Any,
+              memo: Optional[EncodeMemo] = None) -> str:
     """A versioned cache key for an artifact of type ``kind``.
 
     ``parts`` are the artifact's inputs (specs, technologies, stack
     counts, sweep parameters); the schema version is folded in so stale
-    on-disk entries from older encodings can never be returned.
+    on-disk entries from older encodings can never be returned.  Batch
+    callers building many keys that share a large part (the technology)
+    should pass one ``memo`` dict across the whole batch.
     """
-    return fingerprint((KEY_SCHEMA_VERSION, kind, parts))
+    return fingerprint((KEY_SCHEMA_VERSION, kind, parts), memo=memo)

@@ -171,6 +171,31 @@ def resolve_jobs(jobs: Optional[int], n_tasks: Optional[int] = None) -> int:
     return jobs
 
 
+def chunk_slices(n_tasks: int, n_chunks: int) -> List[range]:
+    """Split ``range(n_tasks)`` into at most ``n_chunks`` contiguous,
+    balanced, non-empty ranges.
+
+    This is how the batch-first characterization path shapes its
+    executor tasks: one *chunk of points* per worker instead of one
+    point per task, so ``executor.tasks`` counts batches and the serial
+    recovery tier replays a whole batch.  Deterministic: chunk ``k``
+    always covers the same indices for given ``(n_tasks, n_chunks)``.
+    """
+    if n_chunks < 1:
+        raise ValueError(f"n_chunks must be >= 1, got {n_chunks}")
+    if n_tasks < 0:
+        raise ValueError(f"n_tasks must be >= 0, got {n_tasks}")
+    n_chunks = min(n_chunks, n_tasks) or (1 if n_tasks else 0)
+    base, rem = divmod(n_tasks, n_chunks) if n_chunks else (0, 0)
+    slices: List[range] = []
+    start = 0
+    for k in range(n_chunks):
+        size = base + (1 if k < rem else 0)
+        slices.append(range(start, start + size))
+        start += size
+    return slices
+
+
 def _serial_round(fn: Callable[[T], R], tasks: Sequence[T],
                   indices: Sequence[int], results: List[Any],
                   return_errors: bool, wrap: bool) -> None:

@@ -39,6 +39,30 @@ def small_brick(tech):
 
 
 @pytest.fixture(scope="session")
+def perf_close():
+    """Comparator asserting two BrickPerformance results agree to a
+    relative tolerance (the scalar-vs-vector equivalence budget)."""
+    def compare(scalar, vector, rel=1e-9):
+        assert vector.brick_name == scalar.brick_name
+        assert vector.stack == scalar.stack
+        for name in ("read_delay", "read_energy", "write_energy",
+                     "setup", "hold", "clock_cap", "dwl_cap", "wbl_cap",
+                     "area_um2", "leakage_w"):
+            assert getattr(vector, name) == pytest.approx(
+                getattr(scalar, name), rel=rel, abs=0.0), name
+        for name in ("match_delay", "match_energy"):
+            a, b = getattr(scalar, name), getattr(vector, name)
+            assert (a is None) == (b is None), name
+            if a is not None:
+                assert b == pytest.approx(a, rel=rel, abs=0.0), name
+        assert set(vector.components) == set(scalar.components)
+        for key, value in scalar.components.items():
+            assert vector.components[key] == pytest.approx(
+                value, rel=rel, abs=0.0), key
+    return compare
+
+
+@pytest.fixture(scope="session")
 def fig3_library(tech, stdlib):
     """Std cells plus the 2-stacked 16x10 brick of Fig. 3."""
     bricks, _ = generate_brick_library([(sram_brick(16, 10), 2)], tech)

@@ -1,0 +1,270 @@
+"""Tests for the vectorized batch-estimator kernel and its plumbing.
+
+Covers the struct-of-arrays :class:`BrickSpecBatch` construction and
+validation, the batched Elmore ladder solve against the scalar
+:class:`RCTree`, the batch-first ``estimate_points`` routing (cache
+short-circuit, executor batching, keep-going failure expansion) and the
+``estimator.batch.*`` metrics.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bricks import (
+    BrickSpecBatch,
+    cam_brick,
+    compile_brick,
+    estimate_brick,
+    estimate_brick_batch,
+    sram_brick,
+)
+from repro.bricks.spec import BrickSpec
+from repro.circuit.rc_tree import RCTree, ladder_elmore_batch
+from repro.errors import BrickError, NetlistError
+from repro.obs.metrics import MetricsRegistry
+from repro.perf import (
+    CharacterizationCache,
+    TaskFailure,
+    chunk_slices,
+    estimate_points,
+    executor_stats,
+    reset_executor_stats,
+)
+from repro.perf.characterize import _estimate_batch_worker
+
+
+class TestBrickSpecBatch:
+    def test_empty_batch(self, tech):
+        batch = BrickSpecBatch.from_points([])
+        assert batch.n_points == 0
+        assert estimate_brick_batch([], tech) == []
+
+    def test_single_point_matches_scalar(self, tech, perf_close):
+        spec = sram_brick(16, 10)
+        vector, = estimate_brick_batch([(spec, 2)], tech)
+        scalar = estimate_brick(
+            compile_brick(spec, tech, target_stack=2), tech, stack=2)
+        perf_close(scalar, vector)
+
+    def test_mixed_brick_types_match_scalar(self, tech, perf_close):
+        points = [(sram_brick(16, 10), 1),
+                  (cam_brick(8, 12), 2),
+                  (BrickSpec("6T", 32, 8), 1),
+                  (BrickSpec("EDRAM", 64, 16), 4),
+                  (BrickSpec("DP", 16, 10), 8),
+                  (cam_brick(16, 10), 1)]
+        vectors = estimate_brick_batch(points, tech)
+        for (spec, stack), vector in zip(points, vectors):
+            scalar = estimate_brick(
+                compile_brick(spec, tech, target_stack=stack), tech,
+                stack=stack)
+            perf_close(scalar, vector)
+
+    def test_spec_roundtrip(self):
+        batch = BrickSpecBatch.from_points(
+            [(sram_brick(16, 10), 1), (cam_brick(8, 12), 3)])
+        assert batch.spec(0) == sram_brick(16, 10)
+        assert batch.spec(1) == cam_brick(8, 12)
+        assert list(batch.is_cam) == [False, True]
+        assert list(batch.stack) == [1, 3]
+
+    def test_rejects_unknown_memory_type(self):
+        with pytest.raises(BrickError, match="unknown memory type"):
+            BrickSpecBatch.from_arrays(["9T"], [16], [10], [1])
+
+    def test_rejects_degenerate_geometry(self):
+        with pytest.raises(BrickError, match="words"):
+            BrickSpecBatch.from_arrays(["8T"], [0], [10], [1])
+        with pytest.raises(BrickError, match="bits"):
+            BrickSpecBatch.from_arrays(["8T"], [16], [10000], [1])
+        with pytest.raises(BrickError, match="stack"):
+            BrickSpecBatch.from_arrays(["8T"], [16], [10], [-1])
+
+    def test_rejects_nan_and_fractional_columns(self):
+        with pytest.raises(BrickError, match="finite integers"):
+            BrickSpecBatch.from_arrays(["8T"], [float("nan")], [10], [1])
+        with pytest.raises(BrickError, match="finite integers"):
+            BrickSpecBatch.from_arrays(["8T"], [16.5], [10], [1])
+
+    def test_rejects_bad_out_load(self):
+        with pytest.raises(BrickError, match="finite and positive"):
+            BrickSpecBatch.from_arrays(
+                ["8T"], [16], [10], [1], out_load=[float("nan")])
+        with pytest.raises(BrickError, match="finite and positive"):
+            BrickSpecBatch.from_arrays(
+                ["8T"], [16], [10], [1], out_load=[-1e-15])
+        with pytest.raises(BrickError, match="align"):
+            BrickSpecBatch.from_arrays(
+                ["8T"], [16], [10], [1], out_load=[1e-15, 2e-15])
+
+    def test_rejects_mismatched_columns(self):
+        with pytest.raises(BrickError, match="equal length"):
+            BrickSpecBatch.from_arrays(["8T", "6T"], [16], [10], [1])
+
+
+class TestLadderElmoreBatch:
+    def _scalar_ladder(self, r_drive, root_cap, segments, tail_cap):
+        tree = RCTree(r_drive=r_drive, root_cap=root_cap)
+        last = tree.add_ladder("root", "n", segments, tail_cap=tail_cap)
+        return tree.elmore(last)
+
+    def test_matches_rc_tree(self):
+        rng = np.random.default_rng(2015)
+        n_ladders, width = 17, 9
+        r = rng.uniform(10.0, 5e3, size=(n_ladders, width))
+        c = rng.uniform(1e-16, 5e-14, size=(n_ladders, width))
+        n_segs = rng.integers(1, width + 1, size=n_ladders)
+        r_drive = rng.uniform(0.0, 2e4, size=n_ladders)
+        root_cap = rng.uniform(0.0, 1e-13, size=n_ladders)
+        tail_cap = rng.uniform(0.0, 1e-13, size=n_ladders)
+        delays = ladder_elmore_batch(r, c, r_drive=r_drive,
+                                     root_cap=root_cap,
+                                     tail_cap=tail_cap, n_segs=n_segs)
+        assert delays.shape == (n_ladders,)
+        for i in range(n_ladders):
+            k = int(n_segs[i])
+            expected = self._scalar_ladder(
+                r_drive[i], root_cap[i],
+                list(zip(r[i, :k], c[i, :k])), tail_cap[i])
+            assert delays[i] == pytest.approx(expected, rel=1e-12)
+
+    def test_one_dimensional_input(self):
+        delay = ladder_elmore_batch([100.0], [1e-15], r_drive=50.0)
+        expected = self._scalar_ladder(50.0, 0.0, [(100.0, 1e-15)], 0.0)
+        assert float(delay[0]) == pytest.approx(expected, rel=1e-12)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(NetlistError):
+            ladder_elmore_batch([[100.0]], [[1e-15], [1e-15]])
+        with pytest.raises(NetlistError):
+            ladder_elmore_batch([[-1.0]], [[1e-15]])
+        with pytest.raises(NetlistError):
+            ladder_elmore_batch([[100.0]], [[1e-15]], n_segs=[2])
+        with pytest.raises(NetlistError):
+            ladder_elmore_batch([[100.0]], [[1e-15]], r_drive=-1.0)
+
+
+class TestChunkSlices:
+    def test_partitions_exactly(self):
+        for n_tasks in (0, 1, 5, 16, 100):
+            for n_chunks in (1, 3, 7, 200):
+                chunks = chunk_slices(n_tasks, n_chunks)
+                flat = [i for chunk in chunks for i in chunk]
+                assert flat == list(range(n_tasks))
+                assert all(len(chunk) > 0 for chunk in chunks)
+                assert len(chunks) <= min(n_chunks, max(n_tasks, 0)) \
+                    or n_tasks == 0
+
+    def test_balanced(self):
+        sizes = [len(chunk) for chunk in chunk_slices(10, 4)]
+        assert sizes == [3, 3, 2, 2]
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            chunk_slices(4, 0)
+        with pytest.raises(ValueError):
+            chunk_slices(-1, 2)
+
+
+class TestEstimatePointsBatchFirst:
+    def _points(self, n):
+        return [(sram_brick(16, 8 + (i % 4)), 1 + (i % 3))
+                for i in range(n)]
+
+    def test_matches_scalar_and_caches(self, tech, perf_close):
+        cache = CharacterizationCache(cache_dir=None)
+        points = self._points(9)
+        results = estimate_points(points, tech, cache=cache)
+        unique = len(set(points))
+        assert cache.stats.misses == unique
+        for (spec, stack), vector in zip(points, results):
+            scalar = estimate_brick(
+                compile_brick(spec, tech, target_stack=stack), tech,
+                stack=stack)
+            perf_close(scalar, vector)
+        # Warm run: every point short-circuits in the cache probe, the
+        # kernel is never invoked.
+        again = estimate_points(points, tech, cache=cache)
+        assert again == results
+        assert cache.stats.misses == unique
+
+    def test_warm_run_skips_kernel(self, tech, monkeypatch):
+        from repro.perf import characterize
+        cache = CharacterizationCache(cache_dir=None)
+        points = self._points(5)
+        estimate_points(points, tech, cache=cache)
+        calls = []
+
+        def counting_kernel(pts, t):
+            calls.append(len(pts))
+            raise AssertionError("kernel must not run on a warm cache")
+
+        monkeypatch.setattr(characterize, "_batch_kernel",
+                            counting_kernel)
+        estimate_points(points, tech, cache=cache)
+        assert calls == []
+
+    def test_executor_counts_batches_not_points(self, tech):
+        reset_executor_stats()
+        try:
+            estimate_points(self._points(12), tech,
+                            cache=CharacterizationCache(cache_dir=None))
+            # One chunk (jobs=1) for twelve points: one executor task.
+            assert executor_stats().tasks == 1
+        finally:
+            reset_executor_stats()
+
+    def test_metrics_record_batch_throughput(self, tech):
+        metrics = MetricsRegistry()
+        points = self._points(8)
+        estimate_points(points, tech,
+                        cache=CharacterizationCache(cache_dir=None),
+                        metrics=metrics)
+        unique = len(set(points))
+        assert metrics.counter("estimator.batch.points").value == unique
+        ns = metrics.gauge("estimator.batch.ns_per_point").value
+        assert math.isfinite(ns) and ns > 0
+
+    def test_keep_going_reindexes_failures(self, tech, monkeypatch):
+        from repro.perf import characterize
+        monkeypatch.setattr(
+            characterize, "_batch_kernel",
+            lambda pts, t: (_ for _ in ()).throw(
+                BrickError("kernel disabled")))
+        real_worker = characterize._estimate_worker
+
+        def boom_on_32(task):
+            spec, stack, tech_ = task
+            if spec.words == 32:
+                raise BrickError("injected failure")
+            return real_worker(task)
+
+        monkeypatch.setattr(characterize, "_estimate_worker",
+                            boom_on_32)
+        points = [(sram_brick(16, 10), 1), (sram_brick(32, 10), 1),
+                  (sram_brick(64, 10), 1)]
+        results = estimate_points(
+            points, tech, cache=CharacterizationCache(cache_dir=None),
+            keep_going=True)
+        assert not isinstance(results[0], TaskFailure)
+        assert isinstance(results[1], TaskFailure)
+        assert results[1].index == 1
+        assert "injected failure" in results[1].error
+        assert not isinstance(results[2], TaskFailure)
+
+    def test_worker_falls_back_per_point(self, tech, monkeypatch):
+        from repro.perf import characterize
+        monkeypatch.setattr(
+            characterize, "_batch_kernel",
+            lambda pts, t: (_ for _ in ()).throw(
+                RuntimeError("no numpy here")))
+        points = tuple(self._points(3))
+        results = _estimate_batch_worker((points, tech, False))
+        assert len(results) == 3
+        for (spec, stack), value in zip(points, results):
+            scalar = estimate_brick(
+                compile_brick(spec, tech, target_stack=stack), tech,
+                stack=stack)
+            assert value.read_delay == scalar.read_delay

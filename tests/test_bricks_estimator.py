@@ -3,8 +3,11 @@
 import pytest
 
 from repro.bricks import cam_brick, compile_brick, estimate_brick, \
-    sram_brick
+    estimate_brick_batch, sram_brick
+from repro.bricks.spec import BrickSpec
+from repro.cells.bitcells import MEMORY_TYPES
 from repro.errors import BrickError
+from repro.tech.corners import CORNERS
 from repro.units import GHZ, MHZ, PJ, PS
 
 
@@ -128,3 +131,33 @@ class TestModelStructure:
             self, brick_16x10, tech):
         est = estimate_brick(brick_16x10, tech)
         assert 0 < est.write_energy < 10 * PJ
+
+
+class TestScalarVectorGolden:
+    """Golden equivalence: the vectorized batch kernel must reproduce
+    the scalar estimator to <=1e-9 relative, for every brick type and
+    every PVT corner (in practice they agree to a few ulp)."""
+
+    @pytest.mark.parametrize("corner_name", sorted(CORNERS))
+    @pytest.mark.parametrize("memory_type", MEMORY_TYPES)
+    def test_matches_scalar(self, tech, memory_type, corner_name,
+                            perf_close):
+        derated = CORNERS[corner_name].apply(tech)
+        points = [(BrickSpec(memory_type, 16, 10), 1),
+                  (BrickSpec(memory_type, 32, 12), 4),
+                  (BrickSpec(memory_type, 64, 8), 8)]
+        vectors = estimate_brick_batch(points, derated)
+        assert len(vectors) == len(points)
+        for (spec, stack), vector in zip(points, vectors):
+            compiled = compile_brick(spec, derated, target_stack=stack)
+            scalar = estimate_brick(compiled, derated, stack=stack)
+            perf_close(scalar, vector)
+
+    def test_out_load_override_matches_scalar(self, tech, brick_16x10,
+                                              perf_close):
+        spec = sram_brick(16, 10)
+        for load in (1e-15, 12e-15, 50e-15):
+            vector, = estimate_brick_batch([(spec, 1)], tech,
+                                           out_load=load)
+            scalar = estimate_brick(brick_16x10, tech, out_load=load)
+            perf_close(scalar, vector)

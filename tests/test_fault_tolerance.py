@@ -186,6 +186,18 @@ def _estimate_worker_boom(task):
     return _real_estimate(task)
 
 
+def _batch_kernel_boom(points, tech):
+    raise BrickError("vector kernel disabled for test")
+
+
+def _disable_batch_kernel(monkeypatch):
+    """Force estimate_points down the scalar per-point fallback so the
+    patched ``_estimate_worker`` seam is actually exercised."""
+    from repro.perf import characterize
+    monkeypatch.setattr(characterize, "_batch_kernel",
+                        _batch_kernel_boom)
+
+
 class TestSweepKeepGoing:
     def _session(self, sink=None):
         return Session(cmos65(), seed=2015, sink=sink,
@@ -194,6 +206,7 @@ class TestSweepKeepGoing:
     def test_failed_point_skipped_and_recorded(self, monkeypatch):
         from repro.explore import sweep_partitions
         from repro.perf import characterize
+        _disable_batch_kernel(monkeypatch)
         monkeypatch.setattr(characterize, "_estimate_worker",
                             _estimate_worker_boom)
         sink = RecordingSink()
@@ -214,6 +227,7 @@ class TestSweepKeepGoing:
     def test_without_keep_going_raises(self, monkeypatch):
         from repro.explore import sweep_partitions
         from repro.perf import characterize
+        _disable_batch_kernel(monkeypatch)
         monkeypatch.setattr(characterize, "_estimate_worker",
                             _estimate_worker_boom)
         with pytest.raises(BrickError):
@@ -229,6 +243,7 @@ class TestSweepKeepGoing:
         def _always_boom(task):
             raise BrickError("nothing works")
 
+        _disable_batch_kernel(monkeypatch)
         monkeypatch.setattr(characterize, "_estimate_worker",
                             _always_boom)
         with pytest.raises(ExplorationError, match="every sweep point"):

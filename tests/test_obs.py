@@ -243,6 +243,25 @@ class TestExport:
         # The original record is untouched (strip copies).
         assert "total_s" in record["metrics"]["histograms"]["stage.x"]
 
+    def test_strip_timing_strips_timing_gauges(self):
+        registry = MetricsRegistry()
+        registry.gauge("estimator.batch.ns_per_point").set(1234.5)
+        registry.gauge("explore.sweep.depth").set(3.0)
+        registry.counter("estimator.batch.points").inc(9)
+        record = {"type": "metrics",
+                  "metrics": collect_snapshot(registry)}
+        stripped = strip_timing(record)
+        # Wall-clock-derived gauges go; deterministic values stay.
+        assert "estimator.batch.ns_per_point" \
+            not in stripped["metrics"]["gauges"]
+        assert stripped["metrics"]["gauges"]["explore.sweep.depth"] \
+            == 3.0
+        assert stripped["metrics"]["counters"][
+            "estimator.batch.points"] == 9
+        # The original record is untouched (strip copies).
+        assert "estimator.batch.ns_per_point" \
+            in record["metrics"]["gauges"]
+
     def test_stripped_lines_identical_across_runs(self, tmp_path):
         first, _ = _toy_trace(tmp_path, fail_last=True)
         second, _ = _toy_trace(tmp_path, fail_last=True)
