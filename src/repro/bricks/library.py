@@ -179,6 +179,7 @@ def generate_brick_library(
                                        jobs=session.jobs,
                                        cache=session.cache,
                                        tracer=session.tracer,
-                                       sink=session.sink):
+                                       sink=session.sink,
+                                       pool=session.pool):
             library.add(cell)
     return library, watch.elapsed()

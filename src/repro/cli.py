@@ -37,16 +37,13 @@ from typing import Optional, Sequence
 
 from .bricks import (
     BrickSpec,
-    compile_brick,
-    estimate_brick,
     generate_brick_library,
-    generate_layout,
     partitioned,
     single_partition,
 )
 from .cells import make_stdcell_library
 from .errors import ReproError, exit_code_for, failure_domain
-from .explore import pareto_front, sweep_partitions
+from .explore import sweep_partitions
 from .liberty import write_liberty
 from .obs.export import (
     read_trace_jsonl,
@@ -69,7 +66,7 @@ from .rtl import build_sram, emit_hierarchy
 from .session import DEFAULT_SEED, PrintingSink, Session
 from .synth import flow_report, prepare_libraries
 from .tech import by_name
-from .units import MHZ, PJ, PS, format_si
+from .units import MHZ, PJ
 
 
 def _session(args) -> Session:
@@ -108,30 +105,17 @@ def _yield_plan(args):
 
 
 def cmd_brick(args) -> int:
+    # The report is built and rendered by the same functions the serve
+    # layer uses, so ``repro brick`` and ``repro client brick`` emit
+    # byte-identical stdout.
+    from .serve.handlers import brick_report_data, render_brick_report
     session = _session(args)
-    tech = session.tech
-    spec = BrickSpec(args.type, args.words, args.bits)
-    compiled = compile_brick(spec, tech, target_stack=args.stack)
-    est = estimate_brick(compiled, tech, stack=args.stack)
-    layout = generate_layout(compiled, tech)
-    print(f"brick {spec.name} @ {tech.name}, {args.stack}x stacked:")
-    print(f"  read critical path : {format_si(est.read_delay, 's')}")
-    print(f"  read energy        : {format_si(est.read_energy, 'J')}")
-    print(f"  write energy       : {format_si(est.write_energy, 'J')}")
-    if est.match_delay is not None:
-        print(f"  match path         : "
-              f"{format_si(est.match_delay, 's')}")
-        print(f"  match energy       : "
-              f"{format_si(est.match_energy, 'J')}")
-    print(f"  setup / hold       : {format_si(est.setup, 's')} / "
-          f"{format_si(est.hold, 's')}")
-    print(f"  area (1 brick)     : {layout.area_um2:.1f} um^2 "
-          f"({layout.array_efficiency:.0%} array)")
-    print(f"  leakage (bank)     : {format_si(est.leakage_w, 'W')}")
-    print(f"  max read frequency : "
-          f"{format_si(est.max_read_frequency(), 'Hz')}")
+    data = brick_report_data(session, args.type, args.words, args.bits,
+                             args.stack)
+    print(render_brick_report(data))
     if args.yield_:
         from .faults import analyze_yield
+        spec = BrickSpec(args.type, args.words, args.bits)
         report = analyze_yield(spec, stack=args.stack,
                                n_bricks=args.population,
                                plan=_yield_plan(args),
@@ -204,7 +188,22 @@ def cmd_sram(args) -> int:
     return 0
 
 
+def _print_sweep_data(data) -> None:
+    """Render a sweep data dict the way ``repro sweep`` reports it:
+    wall clock and skipped points on stderr (nondeterministic or
+    diagnostic), the table and pareto line on stdout (deterministic, so
+    local and served runs diff clean)."""
+    from .serve.handlers import render_sweep_table
+    print(f"{data['n_points']} design points in "
+          f"{data['wall_clock_s'] * 1e3:.0f} ms", file=sys.stderr)
+    for failed in data["failures"]:
+        print(f"skipped {failed['label']}: {failed['error']}",
+              file=sys.stderr)
+    print(render_sweep_table(data))
+
+
 def cmd_sweep(args) -> int:
+    from .serve.handlers import sweep_report_data
     session = _session(args)
     result = sweep_partitions(
         total_words_options=(args.total_words,),
@@ -213,26 +212,7 @@ def cmd_sweep(args) -> int:
         memory_type=args.type,
         keep_going=args.keep_going,
         session=session)
-    print(f"{len(result.points)} design points in "
-          f"{result.wall_clock_s * 1e3:.0f} ms")
-    for failed in result.failures:
-        print(f"skipped {failed.label}: {failed.error}",
-              file=sys.stderr)
-    header = (f"{'memory':>12s} {'brick':>12s} {'delay':>9s} "
-              f"{'energy':>11s} {'area':>11s}")
-    print(header)
-    print("-" * len(header))
-    for p in sorted(result.points,
-                    key=lambda p: (p.bits, p.brick_words)):
-        print(f"{'%dx%db' % (p.total_words, p.bits):>12s} "
-              f"{'%dx%db' % (p.brick_words, p.bits):>12s} "
-              f"{p.read_delay / PS:>7.0f}ps "
-              f"{p.read_energy / PJ:>9.3f}pJ "
-              f"{p.area_um2:>8.0f}um2")
-    front = pareto_front(
-        result.points,
-        lambda p: (p.read_delay, p.read_energy, p.area_um2))
-    print(f"pareto-optimal: {', '.join(p.label for p in front)}")
+    _print_sweep_data(sweep_report_data(result))
     return 0
 
 
@@ -282,6 +262,77 @@ def cmd_testchip(args) -> int:
               f"{s.fmax_worst / MHZ:>6.0f}/{s.fmax_nominal / MHZ:.0f}/"
               f"{s.fmax_best / MHZ:.0f} "
               f"{m.mean_energy / PJ:>7.2f}pJ")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Run the brick-library daemon until SIGTERM/SIGINT or a client
+    ``shutdown`` request, then drain gracefully."""
+    from .serve import serve_forever
+    session = _session(args)
+    if session.tracer is None:
+        # The daemon always traces: its ``report`` request renders the
+        # accumulated spans, batch-CLI style.
+        session.tracer = Tracer()
+        session.tracer.sink = session.sink
+
+    def ready(server) -> None:
+        # Machine-readable announce line (scripts parse the port when
+        # --port 0 picked an ephemeral one).
+        print(f"serving on {server.host}:{server.port}", flush=True)
+
+    with session:
+        serve_forever(session, host=args.host, port=args.port,
+                      max_inflight=args.max_inflight, ready=ready)
+    print("server drained", file=sys.stderr)
+    return 0
+
+
+def cmd_client(args) -> int:
+    """Thin client: send one request to a running daemon and render the
+    reply with the same formatters the local subcommands use."""
+    from .serve import ServeClient
+    from .serve.handlers import render_brick_report
+    with ServeClient(host=args.host, port=args.port,
+                     timeout_s=args.timeout) as client:
+        cmd = args.client_command
+        if cmd == "ping":
+            result = client.ping()
+            print(f"pong from {args.host}:{args.port} "
+                  f"(tech {result['tech']}, "
+                  f"protocol v{result['protocol']})")
+        elif cmd == "stats":
+            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+        elif cmd == "report":
+            print(client.report()["render"])
+        elif cmd == "brick":
+            result = client.request("characterize", {
+                "type": args.type, "words": args.words,
+                "bits": args.bits, "stack": args.stack})
+            print(render_brick_report(result["data"]))
+        elif cmd == "sweep":
+            data = client.sweep_data(
+                total_words=args.total_words, bits=list(args.bits),
+                brick_words=list(args.brick_words), type=args.type,
+                keep_going=args.keep_going)
+            _print_sweep_data(data)
+        elif cmd == "yield":
+            result = client.request("yield", {
+                "type": args.type, "words": args.words,
+                "bits": args.bits, "stack": args.stack,
+                "partitions": args.partitions,
+                "population": args.population,
+                "spare_rows": args.spare_rows,
+                "spare_cols": args.spare_cols, "ecc": args.ecc,
+                "seed": args.seed})
+            print(result["data"]["render"])
+        elif cmd == "fetch":
+            print(json.dumps(client.fetch(args.artifact), indent=2,
+                             sort_keys=True))
+        else:
+            assert cmd == "shutdown", cmd
+            client.shutdown()
+            print("server draining", file=sys.stderr)
     return 0
 
 
@@ -437,6 +488,63 @@ def build_parser() -> argparse.ArgumentParser:
                    default=[16, 32, 64])
     p.add_argument("--type", default="8T")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("serve", parents=[obs],
+                       help="run the brick-library daemon "
+                            "(characterization-as-a-service)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default: 127.0.0.1)")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port; 0 picks an ephemeral port and "
+                        "announces it on stdout (default: 0)")
+    p.add_argument("--max-inflight", type=int, default=8,
+                   help="per-connection concurrent request limit; "
+                        "excess requests get a structured busy reply "
+                        "(default: 8)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("client",
+                       help="send one request to a running daemon")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, required=True,
+                   help="port the daemon announced")
+    p.add_argument("--timeout", type=float, default=120.0,
+                   help="socket timeout in seconds (default: 120)")
+    csub = p.add_subparsers(dest="client_command", required=True)
+    csub.add_parser("ping", help="liveness check")
+    csub.add_parser("stats",
+                    help="metrics snapshot + store/coalesce counters "
+                         "+ recent per-request log")
+    csub.add_parser("report", help="render the daemon's run report")
+    csub.add_parser("shutdown", help="drain the daemon and exit it")
+    c = csub.add_parser("brick",
+                        help="served brick characterization "
+                             "(stdout identical to 'repro brick')")
+    c.add_argument("--type", default="8T",
+                   choices=["6T", "8T", "CAM", "EDRAM", "DP"])
+    c.add_argument("--words", type=int, default=16)
+    c.add_argument("--bits", type=int, default=10)
+    c.add_argument("--stack", type=int, default=1)
+    c = csub.add_parser("sweep",
+                        help="served design-space sweep "
+                             "(stdout identical to 'repro sweep')")
+    c.add_argument("--total-words", type=int, default=128)
+    c.add_argument("--bits", type=int, nargs="+", default=[8, 16, 32])
+    c.add_argument("--brick-words", type=int, nargs="+",
+                   default=[16, 32, 64])
+    c.add_argument("--type", default="8T")
+    c = csub.add_parser("yield",
+                        help="served yield/repair analysis")
+    c.add_argument("--type", default="8T",
+                   choices=["6T", "8T", "CAM", "EDRAM", "DP"])
+    c.add_argument("--words", type=int, default=16)
+    c.add_argument("--bits", type=int, default=10)
+    c.add_argument("--stack", type=int, default=1)
+    _yield_args(c, with_partitions=True)
+    c = csub.add_parser("fetch",
+                        help="fetch a stored artifact by id as JSON")
+    c.add_argument("artifact", help="artifact id from a reply")
+    p.set_defaults(func=cmd_client)
 
     p = sub.add_parser("spgemm", parents=[obs],
                        help="LiM CAM chip vs heap baseline (Fig. 6)")

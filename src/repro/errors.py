@@ -101,6 +101,15 @@ class ExecutorError(ReproError):
     fallback (the wrapped cause is the task's own exception)."""
 
 
+class ProtocolError(ReproError):
+    """Malformed, oversized or wrong-version wire frame (repro.serve)."""
+
+
+class ServeError(ReproError):
+    """Brick-library server/client failure (connection refused, busy
+    after retries, server-side internal error relayed to the client)."""
+
+
 #: Domain exit codes, one per concrete error class.  Codes are stable
 #: API: scripts branch on them, so entries are appended, never renumbered.
 #: 1 stays the generic ``ReproError`` catch-all; 2 is argparse's usage
@@ -126,6 +135,8 @@ EXIT_CODES: Tuple[Tuple[Type[ReproError], int], ...] = (
     (FaultError, 27),
     (YieldError, 28),
     (ExecutorError, 29),
+    (ProtocolError, 30),
+    (ServeError, 31),
 )
 
 

@@ -10,9 +10,12 @@ from .pareto import dominates, knee_point, pareto_front
 from .sweep import (
     BrickChoice,
     FailedPoint,
+    SweepPlan,
     SweepPoint,
     SweepResult,
+    execute_sweep_plan,
     optimize_brick_selection,
+    plan_sweep,
     sweep_partitions,
 )
 
@@ -20,6 +23,7 @@ __all__ = [
     "DesignTemplate", "generate_variants", "mac_core_generator",
     "mac_template",
     "dominates", "knee_point", "pareto_front",
-    "BrickChoice", "FailedPoint", "SweepPoint", "SweepResult",
-    "optimize_brick_selection", "sweep_partitions",
+    "BrickChoice", "FailedPoint", "SweepPlan", "SweepPoint",
+    "SweepResult", "execute_sweep_plan", "optimize_brick_selection",
+    "plan_sweep", "sweep_partitions",
 ]

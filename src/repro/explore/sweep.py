@@ -21,6 +21,7 @@ from ..bricks.spec import BrickSpec
 from ..errors import ExplorationError
 from ..obs.trace import maybe_span
 from ..perf.characterize import estimate_points
+from ..perf.fingerprint import cache_key
 from ..perf.parallel import TaskFailure
 from ..perf.timer import Stopwatch
 from ..session import FaultEvent, Session
@@ -102,6 +103,56 @@ class SweepResult:
         return matches[0]
 
 
+@dataclass(frozen=True)
+class SweepPlan:
+    """The pure planning half of a partition sweep.
+
+    Built by :func:`plan_sweep` without touching the cache or the
+    executor: the lattice ``grid`` (``(bits, brick_words, total_words,
+    stack)`` rows), the characterization ``tasks`` in grid order, and a
+    content ``fingerprint`` over every input that shapes the result —
+    the identity a coalescing server shares one computation under (two
+    clients asking for the same sweep against the same technology hash
+    to the same plan).
+    """
+
+    grid: Tuple[Tuple[int, int, int, int], ...]
+    tasks: Tuple[Tuple[BrickSpec, int], ...]
+    memory_type: str
+    fingerprint: str
+
+    @property
+    def n_points(self) -> int:
+        return len(self.grid)
+
+
+def plan_sweep(tech: Technology,
+               total_words_options: Sequence[int] = (128,),
+               bits_options: Sequence[int] = (8, 16, 32),
+               brick_words_options: Sequence[int] = (16, 32, 64),
+               memory_type: str = "8T") -> SweepPlan:
+    """Lay out the sweep lattice and fingerprint it (no computation).
+
+    Pure: safe to call on an event loop, and cheap enough to call per
+    request just to learn the coalescing key.
+    """
+    grid: List[Tuple[int, int, int, int]] = []
+    for bits in bits_options:
+        for brick_words in brick_words_options:
+            for total_words in total_words_options:
+                if total_words % brick_words != 0:
+                    continue
+                stack = total_words // brick_words
+                grid.append((bits, brick_words, total_words, stack))
+    if not grid:
+        raise ExplorationError("sweep produced no points")
+    tasks = tuple((BrickSpec(memory_type, brick_words, bits), stack)
+                  for bits, brick_words, _, stack in grid)
+    fp = cache_key("sweep", memory_type, list(grid), tech)
+    return SweepPlan(grid=tuple(grid), tasks=tasks,
+                     memory_type=memory_type, fingerprint=fp)
+
+
 def sweep_partitions(tech: Optional[Technology] = None,
                      total_words_options: Sequence[int] = (128,),
                      bits_options: Sequence[int] = (8, 16, 32),
@@ -116,6 +167,9 @@ def sweep_partitions(tech: Optional[Technology] = None,
 
     The default arguments are exactly the paper's: 128x{8,16,32} bit
     SRAMs built from 16/32/64-word bricks (9 brick compilations).
+    The composition of :func:`plan_sweep` (pure lattice + fingerprint)
+    and :func:`execute_sweep_plan` (blocking characterization) — the
+    halves the brick-library server calls separately.
 
     Characterization routes through :mod:`repro.perf` under the
     resolved :class:`~repro.session.Session`: repeated points hit the
@@ -132,29 +186,37 @@ def sweep_partitions(tech: Optional[Technology] = None,
     *every* point failed raises :class:`ExplorationError`.
     """
     session = Session.ensure(session, tech=tech, jobs=jobs, cache=cache)
+    plan = plan_sweep(session.tech,
+                      total_words_options=total_words_options,
+                      bits_options=bits_options,
+                      brick_words_options=brick_words_options,
+                      memory_type=memory_type)
+    return execute_sweep_plan(plan, session, keep_going=keep_going)
+
+
+def execute_sweep_plan(plan: SweepPlan, session: Session,
+                       keep_going: bool = False) -> SweepResult:
+    """Run the blocking half of a :class:`SweepPlan` under ``session``.
+
+    This is the function the server ships off the asyncio loop via
+    ``run_in_executor``; everything it touches (cache, worker pool,
+    tracer, metrics) comes from the session, so concurrent executions
+    under one shared session are safe.
+    """
     watch = Stopwatch()
-    grid: List[Tuple[int, int, int, int]] = []
-    for bits in bits_options:
-        for brick_words in brick_words_options:
-            for total_words in total_words_options:
-                if total_words % brick_words != 0:
-                    continue
-                stack = total_words // brick_words
-                grid.append((bits, brick_words, total_words, stack))
-    if not grid:
-        raise ExplorationError("sweep produced no points")
-    tasks = [(BrickSpec(memory_type, brick_words, bits), stack)
-             for bits, brick_words, _, stack in grid]
+    grid = plan.grid
+    memory_type = plan.memory_type
     with maybe_span(session.tracer, "sweep_partitions", kind="sweep",
                     n_points=len(grid),
                     memory_type=memory_type) as sweep_span:
-        estimates = estimate_points(tasks, session.tech,
+        estimates = estimate_points(list(plan.tasks), session.tech,
                                     jobs=session.jobs,
                                     cache=session.cache,
                                     keep_going=keep_going,
                                     tracer=session.tracer,
                                     sink=session.sink,
-                                    metrics=session.metrics)
+                                    metrics=session.metrics,
+                                    pool=session.pool)
         points: List[SweepPoint] = []
         failures: List[FailedPoint] = []
         for (bits, brick_words, total_words, stack), est in zip(

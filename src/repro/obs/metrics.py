@@ -95,7 +95,8 @@ class MetricsRegistry:
 
 
 def collect_snapshot(metrics: Optional[MetricsRegistry] = None,
-                     cache_stats=None, executor_stats=None
+                     cache_stats=None, executor_stats=None,
+                     request_id: Optional[str] = None
                      ) -> Dict[str, Any]:
     """One sorted, JSON-ready dict unifying every metric source.
 
@@ -105,8 +106,15 @@ def collect_snapshot(metrics: Optional[MetricsRegistry] = None,
     Histogram entries isolate their wall clocks in dedicated fields
     (``total_s``/``mean_s``/...) so downstream consumers can strip or
     keep timings wholesale.
+
+    ``request_id`` tags the snapshot with the serving-layer request it
+    covers (the brick-library server snapshots per request), so a
+    snapshot embedded in a trace or a ``stats`` reply names which
+    request produced its numbers.
     """
     snapshot: Dict[str, Any] = {}
+    if request_id is not None:
+        snapshot["request_id"] = request_id
     if cache_stats is not None:
         snapshot["cache"] = {key: value for key, value in
                              sorted(cache_stats.as_dict().items())}

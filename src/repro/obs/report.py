@@ -80,6 +80,9 @@ def render_report(records: Sequence[Dict[str, Any]],
         lines.extend(_table(rows))
     metrics = _metrics_record(records)
     if metrics is not None:
+        request_id = metrics.get("request_id")
+        if request_id:
+            lines.append(f"request: {request_id}")
         cache = metrics.get("cache")
         if cache is not None:
             hits = cache["memory_hits"] + cache["disk_hits"]
@@ -96,6 +99,14 @@ def render_report(records: Sequence[Dict[str, Any]],
                 f"{executor['retried_tasks']} retried, "
                 f"{executor['timeouts']} timeouts, "
                 f"{executor['pool_restarts']} pool restarts")
+        serve = {name: value for name, value in
+                 (metrics.get("counters") or {}).items()
+                 if name.startswith("serve.")}
+        if serve:
+            # Serving-layer counters (requests by type, coalesce
+            # hits/computes, busy rejections) from the daemon.
+            for name, value in sorted(serve.items()):
+                lines.append(f"serve: {name} = {value}")
     for record in failed:
         lines.append(f"failed: {record['name']}: {record.get('error')}")
     return "\n".join(lines)

@@ -39,6 +39,7 @@ from .cache import (
     resolve_cache,
 )
 from .characterize import (
+    EstimatePlan,
     cached_cell_model,
     cached_compile,
     cached_estimate,
@@ -46,15 +47,19 @@ from .characterize import (
     cached_stdcell_library,
     characterize_cells,
     estimate_points,
+    execute_estimates,
+    plan_estimates,
 )
 from .fingerprint import KEY_SCHEMA_VERSION, cache_key, fingerprint
 from .parallel import (
     ExecutorPolicy,
     ExecutorStats,
     TaskFailure,
+    WorkerPool,
     chunk_slices,
     default_executor_policy,
     executor_stats,
+    live_worker_pools,
     parallel_map,
     reset_executor_stats,
     resolve_jobs,
@@ -65,12 +70,14 @@ from .timer import Stopwatch
 __all__ = [
     "CacheStats", "CharacterizationCache",
     "configure_default_cache", "default_cache", "resolve_cache",
-    "cached_cell_model", "cached_compile", "cached_estimate",
-    "cached_measure_read", "cached_stdcell_library",
-    "characterize_cells", "estimate_points",
+    "EstimatePlan", "cached_cell_model", "cached_compile",
+    "cached_estimate", "cached_measure_read", "cached_stdcell_library",
+    "characterize_cells", "estimate_points", "execute_estimates",
+    "plan_estimates",
     "KEY_SCHEMA_VERSION", "cache_key", "fingerprint",
-    "ExecutorPolicy", "ExecutorStats", "TaskFailure", "chunk_slices",
-    "default_executor_policy", "executor_stats", "parallel_map",
+    "ExecutorPolicy", "ExecutorStats", "TaskFailure", "WorkerPool",
+    "chunk_slices", "default_executor_policy", "executor_stats",
+    "live_worker_pools", "parallel_map",
     "reset_executor_stats", "resolve_jobs",
     "set_default_executor_policy",
     "Stopwatch",

@@ -31,10 +31,17 @@ import os
 import pickle
 import tempfile
 import threading
+import time
 import weakref
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Tuple
+
+try:  # POSIX advisory file locking; absent on some platforms.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
 from .fingerprint import KEY_SCHEMA_VERSION
 
@@ -61,6 +68,8 @@ class CacheStats:
     quarantined: int = 0
     bytes_written: int = 0
     bytes_read: int = 0
+    lock_contended: int = 0
+    lock_timeouts: int = 0
 
     @property
     def hits(self) -> int:
@@ -85,6 +94,8 @@ class CacheStats:
             "quarantined": self.quarantined,
             "bytes_written": self.bytes_written,
             "bytes_read": self.bytes_read,
+            "lock_contended": self.lock_contended,
+            "lock_timeouts": self.lock_timeouts,
             "hit_rate": self.hit_rate,
         }
 
@@ -102,13 +113,17 @@ class CharacterizationCache:
                  cache_dir: Optional[str] = None,
                  enabled: bool = True,
                  on_quarantine: Optional[
-                     Callable[[str, str, str], None]] = None) -> None:
+                     Callable[[str, str, str], None]] = None,
+                 lock_timeout_s: float = 5.0) -> None:
         if max_entries < 1:
             raise ValueError(
                 f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = max_entries
         self.cache_dir = os.fspath(cache_dir) if cache_dir else None
         self.enabled = enabled
+        #: How long a disk write waits for the writer lock before
+        #: degrading to an unlocked (still atomic-replace) write.
+        self.lock_timeout_s = lock_timeout_s
         #: Called as ``on_quarantine(key, quarantine_path, reason)``
         #: whenever a bad disk entry is moved aside.
         self.on_quarantine = on_quarantine
@@ -142,6 +157,72 @@ class CharacterizationCache:
         return os.path.join(self.cache_dir, f"v{KEY_SCHEMA_VERSION}",
                             f"{key}.pkl")
 
+    def _lock_path(self) -> str:
+        assert self.cache_dir is not None
+        return os.path.join(self.cache_dir, f"v{KEY_SCHEMA_VERSION}",
+                            ".writer.lock")
+
+    @contextmanager
+    def _write_lock(self):
+        """Serialize disk mutations across threads *and* processes.
+
+        An ``fcntl.flock`` on ``v<N>/.writer.lock`` guards every entry
+        write and quarantine move, so two clients flushing the same key
+        can never interleave (and a writer can never race a concurrent
+        quarantine of the file it is replacing).  Stale-lock recovery
+        comes in two tiers: a crashed holder's flock is released by the
+        kernel automatically, and a *hung* holder is waited on only for
+        ``lock_timeout_s`` — on timeout the lock file is unlinked (so
+        future writers start a fresh lock instead of queueing behind the
+        zombie) and this write proceeds unlocked, which is still safe
+        for readers because the entry itself is replaced atomically.
+        Platforms without ``fcntl`` take the unlocked path.
+        """
+        if self.cache_dir is None or fcntl is None:
+            yield False
+            return
+        path = self._lock_path()
+        fd = None
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd = os.open(path, os.O_CREAT | os.O_RDWR, 0o644)
+        except OSError:
+            yield False
+            return
+        locked = False
+        try:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                locked = True
+            except OSError:
+                self.stats.lock_contended += 1
+                deadline = time.monotonic() + self.lock_timeout_s
+                while time.monotonic() < deadline:
+                    time.sleep(0.005)
+                    try:
+                        fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                        locked = True
+                        break
+                    except OSError:
+                        continue
+                if not locked:
+                    # The holder is alive but hung: break its lock for
+                    # everyone after us and degrade this write.
+                    self.stats.lock_timeouts += 1
+                    try:
+                        os.unlink(path)
+                    except OSError:
+                        pass
+            yield locked
+        finally:
+            if fd is not None:
+                if locked:
+                    try:
+                        fcntl.flock(fd, fcntl.LOCK_UN)
+                    except OSError:
+                        pass
+                os.close(fd)
+
     def _quarantine(self, key: str, path: str, reason: str) -> None:
         """Move a bad entry aside (never silently tolerate corruption).
 
@@ -159,12 +240,13 @@ class CharacterizationCache:
             qdir = os.path.join(self.cache_dir, "quarantine")
             os.makedirs(qdir, exist_ok=True)
             base = os.path.basename(path)
-            dest = os.path.join(qdir, base)
-            serial = 0
-            while os.path.exists(dest):
-                serial += 1
-                dest = os.path.join(qdir, f"{base}.{serial}")
-            os.replace(path, dest)
+            with self._write_lock():
+                dest = os.path.join(qdir, base)
+                serial = 0
+                while os.path.exists(dest):
+                    serial += 1
+                    dest = os.path.join(qdir, f"{base}.{serial}")
+                os.replace(path, dest)
         except OSError:
             dest = ""
             try:
@@ -217,18 +299,19 @@ class CharacterizationCache:
             blob = pickle.dumps((KEY_SCHEMA_VERSION, value),
                                 protocol=pickle.HIGHEST_PROTOCOL)
             os.makedirs(os.path.dirname(path), exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
-                                       suffix=".tmp")
-            try:
-                with os.fdopen(fd, "wb") as handle:
-                    handle.write(blob)
-                os.replace(tmp, path)
-            except BaseException:
+            with self._write_lock():
+                fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                           suffix=".tmp")
                 try:
-                    os.remove(tmp)
-                except OSError:
-                    pass
-                raise
+                    with os.fdopen(fd, "wb") as handle:
+                        handle.write(blob)
+                    os.replace(tmp, path)
+                except BaseException:
+                    try:
+                        os.remove(tmp)
+                    except OSError:
+                        pass
+                    raise
         except Exception:
             # A full disk or unpicklable payload degrades to memory-only
             # caching; characterization must never fail because of it.
@@ -285,6 +368,29 @@ class CharacterizationCache:
         """Drop the memory tier (disk entries are left untouched)."""
         with self._lock:
             self._memory.clear()
+
+    def flush(self) -> None:
+        """Durability barrier for the disk tier.
+
+        Entry writes are synchronous (each ``put`` lands its file before
+        returning), so flushing means syncing the *directory* metadata:
+        after this returns, every completed write survives a crash of
+        the machine, not just of the process.  A no-op for memory-only
+        caches; called by :meth:`repro.session.Session.close`.
+        """
+        if self.cache_dir is None:
+            return
+        vdir = os.path.join(self.cache_dir, f"v{KEY_SCHEMA_VERSION}")
+        try:
+            fd = os.open(vdir, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - fsync-on-dir unsupported
+            pass
+        finally:
+            os.close(fd)
 
     def __len__(self) -> int:
         return len(self._memory)

@@ -31,8 +31,8 @@ from ..obs.trace import Tracer, maybe_span
 from ..tech.technology import Technology
 from .cache import CharacterizationCache, resolve_cache
 from .fingerprint import cache_key
-from .parallel import TaskFailure, chunk_slices, parallel_map, \
-    resolve_jobs
+from .parallel import TaskFailure, WorkerPool, chunk_slices, \
+    parallel_map, resolve_jobs
 
 # --- single-artifact memoizations ----------------------------------------
 
@@ -213,7 +213,8 @@ def _batched(points: Sequence[Tuple[BrickSpec, int]], tech: Technology,
              cache: Optional[CharacterizationCache],
              keep_going: bool = False,
              tracer: Optional[Tracer] = None,
-             sink=None) -> List[Any]:
+             sink=None,
+             pool: Optional[WorkerPool] = None) -> List[Any]:
     """Shared dedup → cache-probe → fan-out → reassemble skeleton.
 
     With ``keep_going=True`` a point whose characterization fails (even
@@ -258,7 +259,7 @@ def _batched(points: Sequence[Tuple[BrickSpec, int]], tech: Technology,
                 computed = parallel_map(
                     worker, [task for _, task in pending], jobs=jobs,
                     return_errors=keep_going,
-                    on_fault=_executor_fault_sink(sink))
+                    on_fault=_executor_fault_sink(sink), pool=pool)
             for (key, _), value in zip(pending, computed):
                 if not isinstance(value, TaskFailure):
                     cache.put(key, value)
@@ -271,15 +272,149 @@ def characterize_cells(requests: Sequence[Tuple[BrickSpec, int]],
                        cache: Optional[CharacterizationCache] = None,
                        keep_going: bool = False,
                        tracer: Optional[Tracer] = None,
-                       sink=None) -> List[CellModel]:
+                       sink=None,
+                       pool: Optional[WorkerPool] = None
+                       ) -> List[CellModel]:
     """Library cell models for ``(spec, stack)`` requests, in order.
 
     Repeated requests are characterized exactly once; unique cold points
-    are fanned out over ``jobs`` processes.
+    are fanned out over ``jobs`` processes (reusing ``pool`` when a
+    persistent :class:`~repro.perf.parallel.WorkerPool` is supplied).
     """
     return _batched(requests, tech, "cellmodel", _cell_model_worker,
                     jobs, cache, keep_going=keep_going,
-                    tracer=tracer, sink=sink)
+                    tracer=tracer, sink=sink, pool=pool)
+
+
+# --- plan/execute split ---------------------------------------------------
+#
+# ``estimate_points`` used to be one monolithic function: fingerprint,
+# probe the cache, fan out, reassemble.  The service layer needs those
+# halves separately — the *plan* is pure (no executor, no disk writes,
+# cheap enough to run on an asyncio loop) and carries the fingerprint
+# the request coalescer keys on, while the *execute* half is the
+# blocking compute shipped off the loop via ``run_in_executor``.
+
+
+@dataclass(frozen=True)
+class EstimatePlan:
+    """The pure planning half of a batch estimate.
+
+    ``keys`` are the per-point cache keys in request order, ``cached``
+    the warm hits already recovered during planning, ``pending`` the
+    unique cold ``(key, (spec, stack))`` pairs still to compute, and
+    ``fingerprint`` a digest of the full request population — the
+    identity a coalescing server shares one computation under.
+    """
+
+    keys: Tuple[str, ...]
+    cached: Dict[str, Any]
+    pending: Tuple[Tuple[str, Tuple[BrickSpec, int]], ...]
+    fingerprint: str
+
+    @property
+    def n_unique(self) -> int:
+        return len(self.cached) + len(self.pending)
+
+
+def plan_estimates(points: Sequence[Tuple[BrickSpec, int]],
+                   tech: Technology,
+                   cache: Optional[CharacterizationCache] = None,
+                   tracer: Optional[Tracer] = None) -> EstimatePlan:
+    """Fingerprint + cache-probe ``points`` without computing anything.
+
+    Pure apart from cache reads: safe to call on an event loop, and
+    calling it twice is idempotent (the second plan simply sees more
+    hits if an execute landed in between).
+    """
+    cache = resolve_cache(cache)
+    memo: Dict[int, str] = {}
+    keys = tuple(cache_key("estimate", spec, tech, stack, memo=memo)
+                 for spec, stack in points)
+    cached: Dict[str, Any] = {}
+    pending: List[Tuple[str, Tuple[BrickSpec, int]]] = []
+    pending_keys = set()
+    with maybe_span(tracer, "cache_probe", kind="cache") as probe:
+        for (spec, stack), key in zip(points, keys):
+            if key in cached or key in pending_keys:
+                continue
+            found, value = cache.get(key)
+            if found:
+                cached[key] = value
+            else:
+                pending.append((key, (spec, stack)))
+                pending_keys.add(key)
+        if probe is not None:
+            probe.attrs.update(unique=len(cached) + len(pending),
+                               hits=len(cached), misses=len(pending))
+    return EstimatePlan(keys=keys, cached=cached,
+                        pending=tuple(pending),
+                        fingerprint=cache_key("estimate_batch",
+                                              list(keys)))
+
+
+def execute_estimates(plan: EstimatePlan, tech: Technology,
+                      jobs: int = 1,
+                      cache: Optional[CharacterizationCache] = None,
+                      keep_going: bool = False,
+                      tracer: Optional[Tracer] = None,
+                      sink=None,
+                      metrics: Optional[MetricsRegistry] = None,
+                      pool: Optional[WorkerPool] = None
+                      ) -> List[BrickPerformance]:
+    """Run the blocking half of an :class:`EstimatePlan`.
+
+    Batch-first: the unique cold points are split into at most ``jobs``
+    contiguous chunks and each chunk is priced as *one* executor task
+    through the vectorized kernel (:mod:`repro.bricks.batch`) — so
+    ``executor.tasks`` counts batches, and the serial recovery tier
+    replays a whole batch.  The scalar per-point path remains as the
+    in-worker fallback.  Results land in ``cache``, and the return list
+    is in the plan's request order.
+    """
+    cache = resolve_cache(cache)
+    results: Dict[str, Any] = dict(plan.cached)
+    pending = list(plan.pending)
+    if pending:
+        n_chunks = resolve_jobs(jobs, n_tasks=len(pending))
+        chunks = chunk_slices(len(pending), n_chunks)
+        # The batch fingerprint names the exact cold population (its
+        # per-point keys, in order) for traces and run reports.
+        batch_fp = cache_key("estimate_batch",
+                             [key for key, _ in pending])
+        with maybe_span(tracer, "parallel_map", kind="task_group",
+                        tasks=len(chunks), jobs=n_chunks,
+                        points=len(pending),
+                        batch_fingerprint=batch_fp):
+            started = time.perf_counter()
+            chunk_results = parallel_map(
+                _estimate_batch_worker,
+                [(tuple(pending[i][1] for i in chunk), tech,
+                  keep_going) for chunk in chunks],
+                jobs=n_chunks, return_errors=keep_going,
+                on_fault=_executor_fault_sink(sink), pool=pool)
+            elapsed = time.perf_counter() - started
+        flat: List[Any] = []
+        for chunk, value in zip(chunks, chunk_results):
+            if isinstance(value, TaskFailure):
+                flat.extend(value for _ in chunk)
+            else:
+                flat.extend(value)
+        for i, ((key, _), value) in enumerate(zip(pending, flat)):
+            if isinstance(value, (_PointFailure, TaskFailure)):
+                # Re-index chunk/worker failures to the point's
+                # position among the cold points.
+                value = TaskFailure(index=i, error=value.error,
+                                    kind=value.kind)
+            else:
+                cache.put(key, value)
+            results[key] = value
+        if metrics is not None:
+            metrics.counter("estimator.batch.points").inc(
+                len(pending))
+            metrics.gauge("estimator.batch.ns_per_point").set(
+                elapsed * 1e9 / len(pending))
+    return [results[key] for key in plan.keys]
 
 
 def estimate_points(points: Sequence[Tuple[BrickSpec, int]],
@@ -288,86 +423,25 @@ def estimate_points(points: Sequence[Tuple[BrickSpec, int]],
                     keep_going: bool = False,
                     tracer: Optional[Tracer] = None,
                     sink=None,
-                    metrics: Optional[MetricsRegistry] = None
+                    metrics: Optional[MetricsRegistry] = None,
+                    pool: Optional[WorkerPool] = None
                     ) -> List[BrickPerformance]:
     """Closed-form estimates for ``(spec, stack)`` points, in order.
 
-    Batch-first: after the per-point cache probe (identical keys to the
-    scalar path, so warm hits still short-circuit), the unique cold
-    points are split into at most ``jobs`` contiguous chunks and each
-    chunk is priced as *one* executor task through the vectorized
-    kernel (:mod:`repro.bricks.batch`) — so ``executor.tasks`` counts
-    batches, and the serial recovery tier replays a whole batch.  The
-    scalar per-point path remains as the in-worker fallback.
-
-    Under ``keep_going=True`` failed points come back as
-    :class:`~repro.perf.parallel.TaskFailure` placeholders so the caller
-    can skip-and-record them.  ``metrics`` (when given) records
+    The composition of :func:`plan_estimates` (fingerprint + cache
+    probe; warm hits short-circuit with identical keys to the scalar
+    path) and :func:`execute_estimates` (chunked vector-kernel
+    fan-out).  Under ``keep_going=True`` failed points come back as
+    :class:`~repro.perf.parallel.TaskFailure` placeholders so the
+    caller can skip-and-record them.  ``metrics`` (when given) records
     ``estimator.batch.points`` and ``estimator.batch.ns_per_point``.
     """
-    cache = resolve_cache(cache)
     with maybe_span(tracer, "characterize:estimate", kind="batch",
                     n_requests=len(points)) as batch_span:
-        memo: Dict[int, str] = {}
-        keys = [cache_key("estimate", spec, tech, stack, memo=memo)
-                for spec, stack in points]
-        results: Dict[str, Any] = {}
-        pending: List[Tuple[str, Tuple[BrickSpec, int]]] = []
-        pending_keys = set()
-        with maybe_span(tracer, "cache_probe", kind="cache") as probe:
-            for (spec, stack), key in zip(points, keys):
-                if key in results or key in pending_keys:
-                    continue
-                found, value = cache.get(key)
-                if found:
-                    results[key] = value
-                else:
-                    pending.append((key, (spec, stack)))
-                    pending_keys.add(key)
-            if probe is not None:
-                probe.attrs.update(
-                    unique=len(results) + len(pending),
-                    hits=len(results), misses=len(pending))
+        plan = plan_estimates(points, tech, cache=cache, tracer=tracer)
         if batch_span is not None:
-            batch_span.attrs.update(n_unique=len(results) + len(pending),
-                                    n_cold=len(pending))
-        if pending:
-            n_chunks = resolve_jobs(jobs, n_tasks=len(pending))
-            chunks = chunk_slices(len(pending), n_chunks)
-            # The batch fingerprint names the exact cold population (its
-            # per-point keys, in order) for traces and run reports.
-            batch_fp = cache_key("estimate_batch",
-                                 [key for key, _ in pending])
-            with maybe_span(tracer, "parallel_map", kind="task_group",
-                            tasks=len(chunks), jobs=n_chunks,
-                            points=len(pending),
-                            batch_fingerprint=batch_fp):
-                started = time.perf_counter()
-                chunk_results = parallel_map(
-                    _estimate_batch_worker,
-                    [(tuple(pending[i][1] for i in chunk), tech,
-                      keep_going) for chunk in chunks],
-                    jobs=n_chunks, return_errors=keep_going,
-                    on_fault=_executor_fault_sink(sink))
-                elapsed = time.perf_counter() - started
-            flat: List[Any] = []
-            for chunk, value in zip(chunks, chunk_results):
-                if isinstance(value, TaskFailure):
-                    flat.extend(value for _ in chunk)
-                else:
-                    flat.extend(value)
-            for i, ((key, _), value) in enumerate(zip(pending, flat)):
-                if isinstance(value, (_PointFailure, TaskFailure)):
-                    # Re-index chunk/worker failures to the point's
-                    # position among the cold points.
-                    value = TaskFailure(index=i, error=value.error,
-                                        kind=value.kind)
-                else:
-                    cache.put(key, value)
-                results[key] = value
-            if metrics is not None:
-                metrics.counter("estimator.batch.points").inc(
-                    len(pending))
-                metrics.gauge("estimator.batch.ns_per_point").set(
-                    elapsed * 1e9 / len(pending))
-        return [results[key] for key in keys]
+            batch_span.attrs.update(n_unique=plan.n_unique,
+                                    n_cold=len(plan.pending))
+        return execute_estimates(plan, tech, jobs=jobs, cache=cache,
+                                 keep_going=keep_going, tracer=tracer,
+                                 sink=sink, metrics=metrics, pool=pool)

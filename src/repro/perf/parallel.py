@@ -29,7 +29,9 @@ recovery tier after pool failures.
 from __future__ import annotations
 
 import os
+import threading
 import time
+import weakref
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, TypeVar
 
@@ -196,6 +198,89 @@ def chunk_slices(n_tasks: int, n_chunks: int) -> List[range]:
     return slices
 
 
+#: Every live WorkerPool, weakly held, so tests and shutdown hooks can
+#: audit for stranded worker processes.
+_live_pools: "weakref.WeakSet" = weakref.WeakSet()
+
+
+class WorkerPool:
+    """A persistent process pool shared across :func:`parallel_map` calls.
+
+    Historically every ``parallel_map`` invocation built a fresh
+    ``ProcessPoolExecutor`` and tore it down — correct, but a
+    long-running service paying pool startup per request defeats the
+    point of staying warm, and a timed-out call *abandoned* its pool
+    (``shutdown(wait=False)``), stranding workers until process exit.
+    A WorkerPool instead owns one lazily-created executor that survives
+    across calls:
+
+    * :meth:`executor` creates the pool on first use (propagating the
+      platform errors ``parallel_map`` already treats as "degrade to
+      serial");
+    * :meth:`restart` replaces a broken or abandoned pool so the next
+      call gets a healthy one instead of inheriting the corpse;
+    * :meth:`shutdown` ends the pool's life for good — further use
+      raises :class:`~repro.errors.ExecutorError`.
+
+    Thread-safe: the asyncio server submits from several handler
+    threads at once (``ProcessPoolExecutor.submit`` itself is
+    thread-safe; the lock here only guards lazy creation/replacement).
+    Pools register in a module-wide weak set so a dropped-without-close
+    :class:`~repro.session.Session` can be reaped by its finalizer
+    instead of leaking workers.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        self.max_workers = resolve_jobs(max_workers)
+        self._executor: Optional[Any] = None
+        self._lock = threading.Lock()
+        self._closed = False
+        _live_pools.add(self)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def running(self) -> bool:
+        """Whether a live executor currently exists (for leak audits)."""
+        return self._executor is not None
+
+    def executor(self):
+        """The shared ``ProcessPoolExecutor``, created on first use."""
+        with self._lock:
+            if self._closed:
+                raise ExecutorError("worker pool is closed")
+            if self._executor is None:
+                from concurrent.futures import ProcessPoolExecutor
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.max_workers)
+            return self._executor
+
+    def restart(self, wait: bool = False) -> None:
+        """Discard the current executor (broken/abandoned); a fresh one
+        is created on next :meth:`executor` call."""
+        with self._lock:
+            old, self._executor = self._executor, None
+        if old is not None:
+            old.shutdown(wait=wait, cancel_futures=True)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Terminate the pool permanently (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            old, self._executor = self._executor, None
+        if old is not None:
+            old.shutdown(wait=wait, cancel_futures=True)
+
+
+def live_worker_pools() -> List[WorkerPool]:
+    """Snapshot of the not-yet-collected WorkerPools (tests, audits)."""
+    return [pool for pool in _live_pools]
+
+
 def _serial_round(fn: Callable[[T], R], tasks: Sequence[T],
                   indices: Sequence[int], results: List[Any],
                   return_errors: bool, wrap: bool) -> None:
@@ -231,7 +316,8 @@ def parallel_map(fn: Callable[[T], R], tasks: Sequence[T],
                  jobs: int = 1,
                  policy: Optional[ExecutorPolicy] = None,
                  return_errors: bool = False,
-                 on_fault: Optional[FaultCallback] = None) -> List[Any]:
+                 on_fault: Optional[FaultCallback] = None,
+                 pool: Optional[WorkerPool] = None) -> List[Any]:
     """``[fn(t) for t in tasks]`` fanned over ``jobs`` processes.
 
     Results are returned in task order.  ``fn`` and every task must be
@@ -257,6 +343,13 @@ def parallel_map(fn: Callable[[T], R], tasks: Sequence[T],
     the session layer routes executor faults to its event sink; the
     process-wide :func:`executor_stats` counters record the same events
     unconditionally.
+
+    ``pool`` (a :class:`WorkerPool`) reuses a persistent executor
+    instead of paying pool startup per call — the warm-service path.
+    A broken or timed-out shared pool is :meth:`~WorkerPool.restart`-ed
+    rather than abandoned, so the stranded-worker leak of repeated
+    cold pools cannot occur; without ``pool`` the historical
+    one-pool-per-call behavior is preserved exactly.
     """
     policy = policy if policy is not None else _default_policy
     n = len(tasks)
@@ -286,16 +379,21 @@ def parallel_map(fn: Callable[[T], R], tasks: Sequence[T],
         workers = min(jobs, len(pending))
         still_failed: List[int] = []
         try:
-            pool = ProcessPoolExecutor(max_workers=workers)
-        except (OSError, PermissionError, NotImplementedError):
-            # No multiprocessing in this sandbox: degrade to serial.
+            if pool is not None:
+                executor = pool.executor()
+            else:
+                executor = ProcessPoolExecutor(max_workers=workers)
+        except (OSError, PermissionError, NotImplementedError,
+                ExecutorError):
+            # No multiprocessing in this sandbox (or the shared pool is
+            # closed): degrade to serial.
             break
         used_pool = True
         timed_out = False
         pool_broke = False
         try:
             futures: Dict[int, Any] = {
-                index: pool.submit(fn, tasks[index])
+                index: executor.submit(fn, tasks[index])
                 for index in pending}
             _executor_stats.pool_tasks += len(pending)
             for index, future in futures.items():
@@ -323,9 +421,17 @@ def parallel_map(fn: Callable[[T], R], tasks: Sequence[T],
                     if on_fault is not None:
                         on_fault(type(exc).__name__, index, str(exc))
         finally:
-            # A hung task would make a waiting shutdown block forever;
-            # abandon the pool instead (workers are reaped at exit).
-            pool.shutdown(wait=not timed_out, cancel_futures=True)
+            if pool is not None:
+                # A shared pool survives the call warm; a hung task or a
+                # dead pool is replaced (never abandoned) so the next
+                # caller inherits a healthy executor, not the corpse.
+                if timed_out or pool_broke:
+                    pool.restart(wait=False)
+            else:
+                # A hung task would make a waiting shutdown block
+                # forever; abandon the pool instead (workers are reaped
+                # at exit).
+                executor.shutdown(wait=not timed_out, cancel_futures=True)
         if pool_broke:
             _executor_stats.pool_restarts += 1
         _executor_stats.retried_tasks += len(still_failed)

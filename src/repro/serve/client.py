@@ -1,0 +1,163 @@
+"""Synchronous client for the brick-library daemon.
+
+A thin, dependency-free wrapper over one TCP connection: it frames
+requests with :mod:`repro.serve.protocol`, matches replies by request
+id, retries ``busy`` rejections honoring the server's
+``retry_after_s`` pacing hint, and raises
+:class:`~repro.errors.ServeError` for every other error reply —
+carrying the wire error code as ``exc.code`` so callers can branch.
+
+The client renders nothing; ``repro client ...`` feeds the fetched
+data dicts through the same renderers the local CLI uses, which is
+what makes the two paths byte-identical.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Dict, Optional
+
+from ..errors import ProtocolError, ServeError
+from .protocol import MAX_FRAME_BYTES, PROTOCOL_VERSION, decode_frame, \
+    encode_frame
+
+#: Default bound on ``busy`` retry attempts before giving up.
+DEFAULT_BUSY_RETRIES = 20
+
+
+class ServeClient:
+    """One connection to a :class:`~repro.serve.server.BrickServer`.
+
+    Usable as a context manager; the connection is opened lazily on
+    first request so constructing a client is free.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 timeout_s: float = 120.0,
+                 busy_retries: int = DEFAULT_BUSY_RETRIES) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self.busy_retries = busy_retries
+        self._sock: Optional[socket.socket] = None
+        self._rfile = None
+        self._counter = 0
+
+    # --- connection -------------------------------------------------------
+
+    def connect(self) -> "ServeClient":
+        if self._sock is None:
+            try:
+                self._sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout_s)
+            except OSError as exc:
+                raise ServeError(
+                    f"cannot connect to {self.host}:{self.port}: "
+                    f"{exc}") from exc
+            self._rfile = self._sock.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        if self._rfile is not None:
+            self._rfile.close()
+            self._rfile = None
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def __enter__(self) -> "ServeClient":
+        return self.connect()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # --- core request/reply -----------------------------------------------
+
+    def _next_id(self) -> str:
+        self._counter += 1
+        return f"c{self._counter}"
+
+    def _roundtrip(self, frame_out: Dict[str, Any]) -> Dict[str, Any]:
+        self.connect()
+        try:
+            self._sock.sendall(encode_frame(frame_out))
+            line = self._rfile.readline(MAX_FRAME_BYTES + 2)
+        except OSError as exc:
+            raise ServeError(f"connection to {self.host}:"
+                             f"{self.port} failed: {exc}") from exc
+        if not line:
+            raise ServeError("server closed the connection")
+        return decode_frame(line)
+
+    def request(self, rtype: str,
+                params: Optional[Dict[str, Any]] = None
+                ) -> Dict[str, Any]:
+        """One request -> the ``result`` dict of its ``ok`` reply.
+
+        ``busy`` rejections are retried (sleeping the server's
+        ``retry_after_s``) up to ``busy_retries`` times; any other
+        error reply raises :class:`~repro.errors.ServeError` with the
+        wire code attached as ``exc.code``.
+        """
+        attempts = 0
+        while True:
+            request_id = self._next_id()
+            reply = self._roundtrip({
+                "v": PROTOCOL_VERSION, "id": request_id,
+                "type": rtype, "params": params or {}})
+            if reply.get("id") != request_id:
+                raise ProtocolError(
+                    f"reply id {reply.get('id')!r} does not match "
+                    f"request id {request_id!r}")
+            if reply.get("ok"):
+                result = reply.get("result")
+                if not isinstance(result, dict):
+                    raise ProtocolError(
+                        f"ok reply carries no result object: {reply}")
+                return result
+            error = reply.get("error") or {}
+            code = error.get("code", "internal")
+            if code == "busy" and attempts < self.busy_retries:
+                attempts += 1
+                time.sleep(float(error.get("retry_after_s", 0.05)))
+                continue
+            exc = ServeError(f"{code}: "
+                             f"{error.get('message', 'unknown error')}")
+            exc.code = code
+            raise exc
+
+    # --- convenience wrappers ---------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        return self.request("ping")
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request("stats")
+
+    def report(self) -> Dict[str, Any]:
+        return self.request("report")
+
+    def fetch(self, artifact: str) -> Any:
+        """The stored payload behind an artifact id."""
+        return self.request("fetch", {"artifact": artifact})["data"]
+
+    def characterize(self, **params: Any) -> Dict[str, Any]:
+        return self.request("characterize", params)
+
+    def sweep(self, **params: Any) -> Dict[str, Any]:
+        return self.request("sweep", params)
+
+    def sweep_data(self, **params: Any) -> Dict[str, Any]:
+        """Run/join a sweep and fetch its full point table."""
+        summary = self.sweep(**params)
+        data = self.fetch(summary["artifact"])
+        data["artifact"] = summary["artifact"]
+        return data
+
+    def yield_analysis(self, **params: Any) -> Dict[str, Any]:
+        return self.request("yield", params)
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Ask the daemon to drain and exit."""
+        return self.request("shutdown")

@@ -1,0 +1,151 @@
+"""Wire protocol for the brick-library server: NDJSON over TCP.
+
+One frame is one UTF-8 JSON object terminated by ``\\n`` — trivially
+debuggable with ``nc``/``socat``, streamable with ``readline``, and
+language-neutral.  Every frame carries the schema version in-band
+(``"v": 1``) so a server can reject a foreign client *before*
+interpreting anything else, mirroring how the characterization cache
+versions its on-disk envelopes.
+
+Requests name a ``type`` (one of :data:`REQUEST_TYPES`) and carry their
+arguments in ``params``; responses echo the request ``id`` and are
+either ``{"ok": true, "result": {...}}`` or ``{"ok": false, "error":
+{"code", "message"}}``.  The ``busy`` error code is the structured
+backpressure reply — it carries ``retry_after_s`` so a client can obey
+the server's pacing instead of hammering.
+
+Frames are bounded by :data:`MAX_FRAME_BYTES` on both sides: the server
+sizes its stream reader with it (an oversized request kills only that
+connection, never the daemon), and :func:`encode_frame` refuses to
+*produce* an oversized reply — large results are parked in the artifact
+store and fetched by id instead of inlined.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..errors import ProtocolError
+
+#: Wire schema version.  Bump when frame shapes change incompatibly;
+#: a mismatched peer is rejected with ``unsupported_version``.
+PROTOCOL_VERSION = 1
+
+#: Hard per-frame byte bound (requests and responses alike).
+MAX_FRAME_BYTES = 4 * 1024 * 1024
+
+#: Every request type the daemon understands.  ``shutdown`` is handled
+#: by the server loop itself (graceful drain); the rest dispatch to
+#: :mod:`repro.serve.handlers`.
+REQUEST_TYPES = ("ping", "characterize", "sweep", "yield", "report",
+                 "stats", "fetch", "shutdown")
+
+#: Error codes a response may carry.
+ERROR_CODES = ("bad_request", "unsupported_version", "unknown_type",
+               "too_large", "busy", "not_found", "internal",
+               "shutting_down")
+
+
+@dataclass(frozen=True)
+class Request:
+    """One validated request frame."""
+
+    id: str
+    type: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+
+def encode_frame(obj: Dict[str, Any]) -> bytes:
+    """Serialize one frame (compact JSON + newline), enforcing the
+    size bound.  Raises :class:`~repro.errors.ProtocolError` for
+    payloads that cannot be framed — unserializable values or frames
+    beyond :data:`MAX_FRAME_BYTES`."""
+    try:
+        text = json.dumps(obj, sort_keys=True,
+                          separators=(",", ":"))
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"unserializable frame: {exc}") from exc
+    blob = text.encode("utf-8") + b"\n"
+    if len(blob) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(blob)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit")
+    return blob
+
+
+def decode_frame(line: bytes) -> Dict[str, Any]:
+    """Parse one received line into a frame dict.
+
+    Rejects oversized, non-JSON and non-object frames with
+    :class:`~repro.errors.ProtocolError`; never raises anything else.
+    """
+    if len(line) > MAX_FRAME_BYTES:
+        exc = ProtocolError(
+            f"frame of {len(line)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit")
+        exc.code = "too_large"
+        raise exc
+    try:
+        obj = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed frame: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got "
+            f"{type(obj).__name__}")
+    return obj
+
+
+def parse_request(frame: Dict[str, Any]) -> Request:
+    """Validate a decoded frame as a request.
+
+    Checks, in order: schema version (missing or foreign versions are
+    rejected *first*, so a future v2 client gets a clean
+    ``unsupported_version`` instead of a confusing field error), the
+    request type, and the params shape.
+    """
+    version = frame.get("v")
+    if version != PROTOCOL_VERSION:
+        exc = ProtocolError(
+            f"unsupported protocol version {version!r} "
+            f"(this server speaks v{PROTOCOL_VERSION})")
+        exc.code = "unsupported_version"
+        raise exc
+    rtype = frame.get("type")
+    if not isinstance(rtype, str) or rtype not in REQUEST_TYPES:
+        exc = ProtocolError(
+            f"unknown request type {rtype!r}; expected one of "
+            f"{', '.join(REQUEST_TYPES)}")
+        exc.code = "unknown_type"
+        raise exc
+    request_id = frame.get("id", "")
+    if not isinstance(request_id, str):
+        raise ProtocolError(
+            f"request id must be a string, got "
+            f"{type(request_id).__name__}")
+    params = frame.get("params", {})
+    if not isinstance(params, dict):
+        raise ProtocolError(
+            f"params must be an object, got {type(params).__name__}")
+    return Request(id=request_id, type=rtype, params=params)
+
+
+def ok_reply(request_id: str, rtype: str,
+             result: Dict[str, Any]) -> Dict[str, Any]:
+    """A success response frame."""
+    return {"v": PROTOCOL_VERSION, "id": request_id, "type": rtype,
+            "ok": True, "result": result}
+
+
+def error_reply(request_id: str, code: str, message: str,
+                retry_after_s: Optional[float] = None
+                ) -> Dict[str, Any]:
+    """An error response frame (``busy`` carries a pacing hint)."""
+    assert code in ERROR_CODES, code
+    error: Dict[str, Any] = {"code": code, "message": message}
+    if retry_after_s is not None:
+        error["retry_after_s"] = retry_after_s
+    return {"v": PROTOCOL_VERSION, "id": request_id, "ok": False,
+            "error": error}

@@ -32,6 +32,7 @@ but swap the technology: ``session.derive(tech=worst_corner_tech)``.
 from __future__ import annotations
 
 import random
+import weakref
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, TextIO
 
@@ -39,6 +40,7 @@ from .errors import SessionError
 from .obs.metrics import MetricsRegistry, collect_snapshot
 from .obs.trace import SpanEvent, Tracer, maybe_span
 from .perf.cache import CharacterizationCache, resolve_cache
+from .perf.parallel import WorkerPool
 from .tech.technology import Technology
 
 #: The master seed historically hardcoded in ``run_flow``'s default.
@@ -156,9 +158,16 @@ class Session:
     tracer: Optional[Tracer] = None
     metrics: Optional[MetricsRegistry] = None
     profile_dir: Optional[str] = None
+    pool: Optional[WorkerPool] = None
 
     def __post_init__(self) -> None:
         self.cache = resolve_cache(self.cache)
+        self._closed = False
+        # True only for the session that *created* its pool: derived
+        # children share the reference but never own the lifetime, so a
+        # child's close()/GC cannot kill the parent's warm workers.
+        self._owns_pool = False
+        self._pool_finalizer: Optional[weakref.finalize] = None
         if self.tracer is not None and self.tracer.sink is None:
             self.tracer.sink = self.sink
         if self.sink is not None:
@@ -166,6 +175,55 @@ class Session:
             # as FaultEvents (the cache dedups re-registration, so
             # derived children sharing the sink register it once).
             self.cache.add_fault_sink(self.sink)
+
+    # --- lifecycle --------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def worker_pool(self) -> WorkerPool:
+        """This session's persistent executor pool, created on demand.
+
+        The pool survives across characterization batches (the warm
+        path a long-running server needs) and is safe to share across
+        threads.  Derived children inherit the same pool; only the
+        creating session owns its shutdown.  A finalizer reaps the pool
+        if the owning session is garbage-collected without
+        :meth:`close` — the historical leak where repeated Session
+        construction stranded ``ProcessPoolExecutor`` workers.
+        """
+        if self._closed:
+            raise SessionError("session is closed")
+        if self.pool is None:
+            pool = WorkerPool(max_workers=self.jobs)
+            self.pool = pool
+            self._owns_pool = True
+            # Bound to the pool object, never to self, so the finalizer
+            # cannot keep the session alive.
+            self._pool_finalizer = weakref.finalize(
+                self, WorkerPool.shutdown, pool, False)
+        return self.pool
+
+    def close(self) -> None:
+        """Release owned resources: shut down the executor pool this
+        session created and flush the cache's disk tier.  Idempotent;
+        a closed session can still serve cached reads but can no longer
+        hand out a worker pool."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns_pool and self.pool is not None:
+            self.pool.shutdown(wait=True)
+            if self._pool_finalizer is not None:
+                self._pool_finalizer.detach()
+        self.cache.flush()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # --- events -----------------------------------------------------------
 
@@ -182,16 +240,20 @@ class Session:
         """
         return maybe_span(self.tracer, name, kind=kind, **attrs)
 
-    def metrics_snapshot(self) -> Dict[str, Any]:
+    def metrics_snapshot(self, request_id: Optional[str] = None
+                         ) -> Dict[str, Any]:
         """The unified metrics snapshot for this session's run.
 
         Folds the metrics registry (may be ``None``), this session's
         cache statistics and the process-wide executor statistics into
         one :func:`~repro.obs.metrics.collect_snapshot` dict.
+        ``request_id`` tags the snapshot with the serving-layer request
+        that asked for it.
         """
         from .perf.parallel import executor_stats
         return collect_snapshot(self.metrics, self.cache.stats,
-                                executor_stats())
+                                executor_stats(),
+                                request_id=request_id)
 
     # --- determinism ------------------------------------------------------
 
@@ -216,7 +278,8 @@ class Session:
                    "cache": self.cache, "seed": self.seed,
                    "sink": self.sink, "tracer": self.tracer,
                    "metrics": self.metrics,
-                   "profile_dir": self.profile_dir}
+                   "profile_dir": self.profile_dir,
+                   "pool": self.pool}
         unknown = set(overrides) - set(fields_)
         if unknown:
             raise SessionError(

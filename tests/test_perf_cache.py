@@ -10,6 +10,7 @@ import sys
 import pytest
 
 from repro.bricks import sram_brick
+from repro.perf import cache as cache_module
 from repro.perf import (
     KEY_SCHEMA_VERSION,
     CharacterizationCache,
@@ -314,3 +315,147 @@ class TestDefaultCache:
             assert default_cache().stats.hits > before
         finally:
             configure_default_cache()
+
+
+class TestWriterLock:
+    """The fcntl writer lock serializing disk mutations (with stale-lock
+    recovery), so concurrent clients of one cache_dir never interleave
+    an entry write with a quarantine move of the same file."""
+
+    pytestmark = pytest.mark.skipif(
+        cache_module.fcntl is None,
+        reason="platform has no fcntl (no writer lock to test)")
+
+    def _hold_lock(self, tmp_path, hold_s=0.0):
+        """Grab the writer lock out-of-band, as a hung holder would.
+
+        flock contends between two file descriptors even in one
+        process, so this stands in for a second client exactly.
+        Returns ``(fd, release)``; release after ``hold_s`` when > 0.
+        """
+        import fcntl
+        import threading
+        import time
+        lock_path = (tmp_path / f"v{KEY_SCHEMA_VERSION}"
+                     / ".writer.lock")
+        lock_path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(str(lock_path), os.O_CREAT | os.O_RDWR, 0o644)
+        fcntl.flock(fd, fcntl.LOCK_EX)
+
+        def release():
+            fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+
+        if hold_s > 0:
+            timer = threading.Timer(hold_s, release)
+            timer.start()
+            return fd, timer.join
+        return fd, release
+
+    def test_lock_file_lives_inside_versioned_dir(self, tmp_path):
+        cache = CharacterizationCache(cache_dir=str(tmp_path))
+        cache.put("k", 1)
+        assert (tmp_path / f"v{KEY_SCHEMA_VERSION}"
+                / ".writer.lock").exists()
+
+    def test_uncontended_write_takes_lock_silently(self, tmp_path):
+        cache = CharacterizationCache(cache_dir=str(tmp_path))
+        cache.put("k", "value")
+        assert cache.stats.lock_contended == 0
+        assert cache.stats.lock_timeouts == 0
+        assert cache.get("k") == (True, "value")
+
+    def test_briefly_held_lock_is_waited_out(self, tmp_path):
+        # A healthy concurrent writer: we block, it releases, we write
+        # locked.  Counted as contention, NOT as a timeout.
+        _, join = self._hold_lock(tmp_path, hold_s=0.05)
+        cache = CharacterizationCache(cache_dir=str(tmp_path),
+                                      lock_timeout_s=5.0)
+        cache.put("k", "waited")
+        join()
+        assert cache.stats.lock_contended == 1
+        assert cache.stats.lock_timeouts == 0
+        assert CharacterizationCache(
+            cache_dir=str(tmp_path)).get("k") == (True, "waited")
+
+    def test_stale_lock_broken_after_timeout(self, tmp_path):
+        # A hung holder never releases: the write degrades to unlocked
+        # (still atomic-replace) and the lock file is unlinked so later
+        # writers start fresh instead of queueing behind the zombie.
+        _, release = self._hold_lock(tmp_path)
+        try:
+            cache = CharacterizationCache(cache_dir=str(tmp_path),
+                                          lock_timeout_s=0.05)
+            cache.put("k", "degraded")
+            assert cache.stats.lock_contended == 1
+            assert cache.stats.lock_timeouts == 1
+            assert not (tmp_path / f"v{KEY_SCHEMA_VERSION}"
+                        / ".writer.lock").exists()
+            assert cache.get("k") == (True, "degraded")
+            # The next writer recreates a fresh lock and locks cleanly.
+            cache.put("k2", 2)
+            assert cache.stats.lock_timeouts == 1
+        finally:
+            release()
+
+    def test_concurrent_writers_all_land(self, tmp_path):
+        import threading
+        caches = [CharacterizationCache(cache_dir=str(tmp_path))
+                  for _ in range(4)]
+        barrier = threading.Barrier(len(caches))
+        errors = []
+
+        def write(index, cache):
+            try:
+                barrier.wait()
+                for round_ in range(10):
+                    cache.put(f"k{index}_{round_}",
+                              {"writer": index, "round": round_})
+            except Exception as exc:  # pragma: no cover - diagnostics
+                errors.append(exc)
+
+        threads = [threading.Thread(target=write, args=(i, c))
+                   for i, c in enumerate(caches)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        fresh = CharacterizationCache(cache_dir=str(tmp_path))
+        for index in range(len(caches)):
+            for round_ in range(10):
+                assert fresh.get(f"k{index}_{round_}") == (
+                    True, {"writer": index, "round": round_})
+        assert sum(c.stats.lock_timeouts for c in caches) == 0
+
+    def test_quarantine_waits_for_writer_lock(self, tmp_path):
+        # The race the lock exists for: quarantining a corrupt entry
+        # while another client holds the writer lock.  The move must
+        # wait for the healthy writer, not interleave with it.
+        cache = CharacterizationCache(cache_dir=str(tmp_path))
+        cache.put("badkey", "seed")
+        entry = tmp_path / f"v{KEY_SCHEMA_VERSION}" / "badkey.pkl"
+        entry.write_bytes(b"garbage")
+        _, join = self._hold_lock(tmp_path, hold_s=0.05)
+        reader = CharacterizationCache(cache_dir=str(tmp_path),
+                                       lock_timeout_s=5.0)
+        assert reader.get("badkey") == (False, None)
+        join()
+        assert reader.stats.quarantined == 1
+        assert reader.stats.lock_contended == 1
+        assert reader.stats.lock_timeouts == 0
+        assert not entry.exists()
+        assert list((tmp_path / "quarantine").iterdir())
+
+    def test_flush_is_noop_for_memory_only_cache(self):
+        cache = CharacterizationCache()  # no cache_dir
+        cache.put("k", 1)
+        cache.flush()  # must not raise or touch the filesystem
+        assert cache.get("k") == (True, 1)
+
+    def test_flush_syncs_existing_dir(self, tmp_path):
+        cache = CharacterizationCache(cache_dir=str(tmp_path))
+        cache.put("k", 1)
+        cache.flush()
+        cache.flush()  # idempotent
+        assert cache.get("k") == (True, 1)

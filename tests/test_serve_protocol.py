@@ -1,0 +1,159 @@
+"""Wire protocol for the brick-library server (repro.serve.protocol)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.serve import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    REQUEST_TYPES,
+    decode_frame,
+    encode_frame,
+    error_reply,
+    ok_reply,
+    parse_request,
+)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        frame = {"v": 1, "id": "r1", "type": "ping", "params": {}}
+        blob = encode_frame(frame)
+        assert blob.endswith(b"\n")
+        assert b"\n" not in blob[:-1]  # exactly one frame per line
+        assert decode_frame(blob) == frame
+
+    def test_compact_deterministic_encoding(self):
+        # Sorted keys + compact separators: identical frames encode to
+        # identical bytes, which is what makes coalesced replies
+        # trivially diffable.
+        one = encode_frame({"b": 2, "a": 1})
+        two = encode_frame({"a": 1, "b": 2})
+        assert one == two
+        assert b" " not in one
+
+    def test_floats_survive_round_trip_exactly(self):
+        value = 2.4712345678901234e-10
+        frame = decode_frame(encode_frame({"x": value}))
+        assert frame["x"] == value
+
+    def test_unserializable_payload_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_frame({"x": object()})
+
+    def test_oversized_encode_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_frame({"blob": "x" * MAX_FRAME_BYTES})
+
+    def test_oversized_decode_rejected(self):
+        line = (b'{"pad": "' + b"x" * MAX_FRAME_BYTES + b'"}\n')
+        with pytest.raises(ProtocolError) as err:
+            decode_frame(line)
+        assert getattr(err.value, "code", None) == "too_large"
+
+    @pytest.mark.parametrize("line", [
+        b"not json\n",
+        b'{"unterminated": \n',
+        b"[1, 2, 3]\n",          # JSON but not an object
+        b'"just a string"\n',
+        b"\xff\xfe garbage\n",   # not UTF-8
+    ])
+    def test_malformed_frames_rejected(self, line):
+        with pytest.raises(ProtocolError):
+            decode_frame(line)
+
+
+class TestParseRequest:
+    def _frame(self, **overrides):
+        frame = {"v": PROTOCOL_VERSION, "id": "r1", "type": "ping",
+                 "params": {}}
+        frame.update(overrides)
+        return frame
+
+    def test_valid_request(self):
+        request = parse_request(self._frame(type="sweep",
+                                            params={"bits": [8]}))
+        assert request.id == "r1"
+        assert request.type == "sweep"
+        assert request.params == {"bits": [8]}
+
+    def test_params_default_to_empty(self):
+        frame = self._frame()
+        del frame["params"]
+        assert parse_request(frame).params == {}
+
+    def test_float_version_accepted(self):
+        # JSON clients may encode the version as 1.0; numerically equal
+        # versions are the same version.
+        assert parse_request(self._frame(v=1.0)).type == "ping"
+
+    @pytest.mark.parametrize("version", [None, 0, 2, "1"])
+    def test_foreign_version_rejected_first(self, version):
+        # Version is checked before anything else, so even an otherwise
+        # broken frame of the wrong version reports the version problem.
+        frame = self._frame(type="nonsense")
+        frame["v"] = version
+        with pytest.raises(ProtocolError) as err:
+            parse_request(frame)
+        assert err.value.code == "unsupported_version"
+
+    def test_missing_version_rejected(self):
+        frame = self._frame()
+        del frame["v"]
+        with pytest.raises(ProtocolError) as err:
+            parse_request(frame)
+        assert err.value.code == "unsupported_version"
+
+    @pytest.mark.parametrize("rtype", [None, "", "nonsense", 7])
+    def test_unknown_type_rejected(self, rtype):
+        with pytest.raises(ProtocolError) as err:
+            parse_request(self._frame(type=rtype))
+        assert err.value.code == "unknown_type"
+
+    def test_every_request_type_parses(self):
+        for rtype in REQUEST_TYPES:
+            assert parse_request(self._frame(type=rtype)).type == rtype
+
+    def test_non_string_id_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_request(self._frame(id=7))
+
+    def test_non_object_params_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_request(self._frame(params=[1, 2]))
+
+
+class TestReplies:
+    def test_ok_reply_shape(self):
+        reply = ok_reply("r9", "sweep", {"n_points": 4})
+        assert reply == {"v": PROTOCOL_VERSION, "id": "r9",
+                         "type": "sweep", "ok": True,
+                         "result": {"n_points": 4}}
+
+    def test_error_reply_shape(self):
+        reply = error_reply("r9", "not_found", "gone")
+        assert reply["ok"] is False
+        assert reply["error"] == {"code": "not_found",
+                                  "message": "gone"}
+        assert "retry_after_s" not in reply["error"]
+
+    def test_busy_reply_carries_pacing_hint(self):
+        reply = error_reply("r9", "busy", "overloaded",
+                            retry_after_s=0.25)
+        assert reply["error"]["retry_after_s"] == 0.25
+        # The hint survives the wire.
+        assert decode_frame(encode_frame(reply)) == reply
+
+    def test_replies_carry_schema_version(self):
+        assert ok_reply("a", "ping", {})["v"] == PROTOCOL_VERSION
+        assert error_reply("a", "internal", "x")["v"] == \
+            PROTOCOL_VERSION
+
+    def test_reply_is_one_json_line(self):
+        blob = encode_frame(ok_reply("a", "ping", {"pong": True}))
+        assert json.loads(blob.decode()) == ok_reply(
+            "a", "ping", {"pong": True})
