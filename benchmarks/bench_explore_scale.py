@@ -1,0 +1,140 @@
+"""Benchmark: the sharded million-point design-space explorer.
+
+Prices 10^3 / 10^4 / 10^5-point lattices through the redesigned
+:class:`repro.explore.SweepEngine` in sharded mode and compares against
+the pre-redesign path (the materialize-every-point grid executor the
+``sweep_partitions`` shim still rides), emitting
+``BENCH_explore_scale.json``.
+
+Two claims are asserted machine-readably:
+
+* throughput — the 100k-point sharded sweep must run at >= 10x the
+  points/s the legacy path achieves on its 1k-point ceiling, while
+  holding only frontier + top-K in memory;
+* resumability — a killed-then-resumed sweep reproduces the
+  uninterrupted frontier byte for byte.
+"""
+
+import time
+
+from bench_util import emit_bench_json, print_table
+from repro.explore import SweepEngine
+from repro.perf.cache import CharacterizationCache
+from repro.session import Session
+
+#: Axis recipes sized so the divisibility filter prunes nothing
+#: (total_words are multiples of 64, every brick width divides 64).
+_BRICK_WORDS = (4, 8, 16, 32, 64)
+
+
+def _space_kwargs(n_total_words, n_bits):
+    return dict(
+        total_words_options=tuple(64 * k
+                                  for k in range(1, n_total_words + 1)),
+        bits_options=tuple(range(2, 2 + n_bits)),
+        brick_words_options=_BRICK_WORDS)
+
+
+#: (label, total_words count, bits count) -> 5 * tw * bits points.
+_SIZES = (
+    ("1k", 13, 16),      # 1040 points
+    ("10k", 64, 32),     # 10240 points
+    ("100k", 640, 32),   # 102400 points
+)
+
+
+def _engine(tech, mode, **kwargs):
+    session = Session(tech, jobs=1, cache=CharacterizationCache())
+    return SweepEngine(session, mode=mode, shard_size=8192, **kwargs)
+
+
+def test_explore_scale_throughput_json(benchmark, tech):
+    sections = {}
+    rows = []
+
+    # Pre-redesign baseline: the legacy grid executor materializes a
+    # SweepPoint per lattice point; 1k is its comfortable ceiling.
+    legacy_kwargs = _space_kwargs(13, 16)
+    session = Session(tech, jobs=1, cache=CharacterizationCache())
+    start = time.perf_counter()
+    legacy = session.sweep_partitions(**legacy_kwargs)
+    legacy_s = time.perf_counter() - start
+    legacy_pps = len(legacy.points) / legacy_s
+    sections["legacy_1k"] = {
+        "n_points": len(legacy.points),
+        "wall_clock_s": legacy_s,
+        "points_per_s": legacy_pps,
+    }
+    rows.append(("legacy 1k", len(legacy.points), f"{legacy_s:.3f}",
+                 f"{legacy_pps:.0f}", "1.0x"))
+
+    for label, n_tw, n_bits in _SIZES:
+        engine = _engine(tech, "sharded", **_space_kwargs(n_tw,
+                                                          n_bits))
+        start = time.perf_counter()
+        result = engine.run(resume=False)
+        elapsed = time.perf_counter() - start
+        pps = result.n_priced / elapsed
+        retained = len(result.frontier) + len(result.top)
+        assert result.points is None  # bounded memory: survivors only
+        sections[label] = {
+            "n_points": result.n_points,
+            "n_priced": result.n_priced,
+            "shards": result.shards_total,
+            "wall_clock_s": elapsed,
+            "points_per_s": pps,
+            "retained_points": retained,
+            "frontier_size": len(result.frontier),
+            "speedup_vs_legacy_1k": pps / legacy_pps,
+        }
+        rows.append((f"sharded {label}", result.n_points,
+                     f"{elapsed:.3f}", f"{pps:.0f}",
+                     f"{pps / legacy_pps:.1f}x"))
+
+    print_table(
+        "Sharded design-space exploration throughput",
+        ("path", "points", "wall[s]", "points/s",
+         "vs legacy 1k"),
+        rows)
+    emit_bench_json("explore_scale", {
+        "paths": sections,
+        "shard_size": 8192,
+        "objectives": ["read_delay", "read_energy", "area_um2"],
+    })
+    speedup = sections["100k"]["speedup_vs_legacy_1k"]
+    assert speedup >= 10.0, (
+        f"sharded 100k sweep only {speedup:.1f}x the legacy "
+        f"1k-point path")
+    benchmark.pedantic(
+        lambda: _engine(tech, "sharded",
+                        **_space_kwargs(13, 16)).run(resume=False),
+        rounds=3, iterations=1)
+
+
+def test_killed_sweep_resumes_byte_identical(tech):
+    """Kill a 10k sweep mid-flight; the resumed frontier must match the
+    uninterrupted run byte for byte."""
+    kwargs = dict(_space_kwargs(64, 32), shard_size=1024)
+    session = Session(tech, jobs=1, cache=CharacterizationCache())
+    golden = SweepEngine(session, mode="sharded", **kwargs).run()
+
+    cache = CharacterizationCache()
+
+    class Killed(Exception):
+        pass
+
+    def killer(done, total, shard):
+        if done >= total // 2:
+            raise Killed()
+
+    killed_session = Session(tech, jobs=1, cache=cache)
+    try:
+        SweepEngine(killed_session, mode="sharded",
+                    **kwargs).run(progress=killer)
+        raise AssertionError("sweep was not killed")
+    except Killed:
+        pass
+    resumed = SweepEngine(Session(tech, jobs=1, cache=cache),
+                          mode="sharded", **kwargs).run()
+    assert resumed.resumed_shards >= 1
+    assert resumed.frontier_json() == golden.frontier_json()

@@ -11,7 +11,9 @@ example:
 3. runs the Section 6 *future work* — automatic brick selection — for a
    few memory requirements,
 4. sweeps a finer grid ("the same analysis can be done over a finer
-   resolution of row numbers and bit length without any design cost").
+   resolution of row numbers and bit length without any design cost"),
+5. scales the same analysis to a ~10k-point lattice through the
+   sharded, resumable `SweepEngine` and refines around the frontier.
 
 Run:  python examples/design_space_exploration.py
 """
@@ -93,6 +95,28 @@ def main() -> None:
     print(f"  knee design: {best.label} "
           f"({best.read_delay / PS:.0f} ps, "
           f"{best.read_energy / PJ:.3f} pJ, {best.area_um2:.0f} um2)")
+
+    # --- 5. sweeps at scale: the sharded, resumable engine --------------------
+    engine = session.sweep_engine(
+        total_words_options=tuple(64 * k for k in range(1, 65)),
+        bits_options=tuple(range(2, 34)),
+        brick_words_options=(4, 8, 16, 32, 64),
+        shard_size=1024)
+    start = time.perf_counter()
+    scale = engine.run()
+    elapsed = time.perf_counter() - start
+    print(f"\nsharded sweep: {scale.n_priced} points priced in "
+          f"{scale.shards_done} shards, {elapsed * 1e3:.0f} ms "
+          f"({scale.n_priced / elapsed:.0f} points/s); "
+          f"frontier {len(scale.frontier)}")
+    refined = engine.refine(rounds=1)
+    print(f"after 1 refinement round (+{refined.n_refined} midpoint "
+          f"candidates):")
+    for p in refined.frontier:
+        off = "  <- refined" if p.index >= refined.n_points else ""
+        print(f"  {p.label}: {p.read_delay / PS:.0f} ps, "
+              f"{p.read_energy / PJ:.3f} pJ, {p.area_um2:.0f} um2"
+              f"{off}")
 
 
 if __name__ == "__main__":

@@ -6,6 +6,7 @@ from .batch import (
     compile_batch,
     estimate_batch,
     estimate_brick_batch,
+    estimate_metric_columns,
 )
 from .compiler import CompiledBrick, MatchPeriphery, compile_brick
 from .estimator import BrickPerformance, estimate_brick
@@ -26,6 +27,7 @@ from .stack import BankConfig, partitioned, single_partition
 __all__ = [
     "BrickSpecBatch", "CompiledBrickBatch", "compile_batch",
     "estimate_batch", "estimate_brick_batch",
+    "estimate_metric_columns",
     "CompiledBrick", "MatchPeriphery", "compile_brick",
     "BrickPerformance", "estimate_brick",
     "BrickTestbench", "build_read_testbench", "build_write_testbench",

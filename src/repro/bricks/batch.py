@@ -28,7 +28,7 @@ type and PVT corner.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -332,16 +332,22 @@ def _chain_internal_cap(caps: np.ndarray, n_stages: np.ndarray,
     return acc
 
 
-def estimate_batch(compiled: CompiledBrickBatch, tech: Technology,
-                   out_load: Optional[float] = None
-                   ) -> List[BrickPerformance]:
-    """Vectorized :func:`~repro.bricks.estimator.estimate_brick`.
+def estimate_metric_columns(compiled: CompiledBrickBatch,
+                            tech: Technology,
+                            out_load: Optional[float] = None
+                            ) -> Dict[str, np.ndarray]:
+    """Price the population and return the raw metric *columns*.
 
-    Prices every point of the compiled population at once and packs the
-    results back into the same per-point :class:`BrickPerformance`
-    objects (plain-float fields) the scalar estimator returns.
-    ``out_load`` applies to every point unless the batch carries its own
-    per-point ``out_load`` column.
+    This is the array-level seam the sharded design-space explorer
+    rides: all the float math of :func:`estimate_batch` with none of
+    the per-point object packing (which dominates wall clock above
+    ~10^4 points).  The returned dict maps metric names to length-``n``
+    float arrays — ``read_delay``, ``read_energy``, ``write_energy``,
+    ``setup``, ``clock_cap`` (stacked), ``wbl_cap``, ``area_um2``
+    (stacked), ``leakage_w`` — plus ``hold`` (a scalar float),
+    ``match_delay``/``match_energy`` compact over ``cam_idx``, and a
+    ``components`` sub-dict of the 16 delay/energy breakdown columns.
+    :func:`estimate_batch` is exactly these columns + ``_pack``.
     """
     if compiled.tech_name != tech.name:
         raise BrickError(
@@ -350,7 +356,15 @@ def estimate_batch(compiled: CompiledBrickBatch, tech: Technology,
     batch = compiled.batch
     n = batch.n_points
     if n == 0:
-        return []
+        empty = np.zeros(0)
+        return {name: empty for name in
+                ("read_delay", "read_energy", "write_energy", "setup",
+                 "clock_cap", "wbl_cap", "area_um2", "leakage_w",
+                 "match_delay", "match_energy")} | {
+                    "hold": 0.5 * tech.fo4_delay(),
+                    "cam_idx": np.zeros(0, dtype=np.int64),
+                    "components": {key: empty
+                                   for key in _COMPONENT_KEYS}}
     cell = compiled.cell
     layer = tech.layer(tech.local_layer)
     bl_layer = tech.layer(tech.bitline_layer)
@@ -572,12 +586,46 @@ def estimate_batch(compiled: CompiledBrickBatch, tech: Technology,
     leak_periph = tech.i_leak_n * periph_width * 0.5 * vdd
     leakage = stack * (leak_cells + leak_periph)
 
-    return _pack(batch, compiled, read_delay, read_energy, write_energy,
-                 setup, hold, stack * clock_cap, c_wbl_bank,
-                 brick_area * stack, leakage, match_delay, match_energy,
-                 t_ctrl, t_nand, t_chain, t_wl_wire, t_cell, t_sense,
-                 t_arbl, e_ctrl, e_wl, e_lbl, e_sense, e_arbl, e_idle,
-                 e_crowbar, e_wbl, e_wwl)
+    components = dict(zip(_COMPONENT_KEYS,
+                          (t_ctrl, t_nand, t_chain, t_wl_wire, t_cell,
+                           t_sense, t_arbl, e_ctrl, e_wl, e_lbl,
+                           e_sense, e_arbl, e_idle, e_crowbar, e_wbl,
+                           e_wwl)))
+    return {
+        "read_delay": read_delay,
+        "read_energy": read_energy,
+        "write_energy": write_energy,
+        "setup": setup,
+        "hold": hold,
+        "clock_cap": stack * clock_cap,
+        "wbl_cap": c_wbl_bank,
+        "area_um2": brick_area * stack,
+        "leakage_w": leakage,
+        "match_delay": match_delay,
+        "match_energy": match_energy,
+        "cam_idx": compiled.cam_idx,
+        "components": components,
+    }
+
+
+def estimate_batch(compiled: CompiledBrickBatch, tech: Technology,
+                   out_load: Optional[float] = None
+                   ) -> List[BrickPerformance]:
+    """Vectorized :func:`~repro.bricks.estimator.estimate_brick`.
+
+    Prices every point of the compiled population at once and packs the
+    results back into the same per-point :class:`BrickPerformance`
+    objects (plain-float fields) the scalar estimator returns.
+    ``out_load`` applies to every point unless the batch carries its own
+    per-point ``out_load`` column.  Callers that only need metric
+    arrays (the sharded explorer) should use
+    :func:`estimate_metric_columns` instead — the packing here costs
+    more than the math at population scale.
+    """
+    if compiled.batch.n_points == 0:
+        return []
+    columns = estimate_metric_columns(compiled, tech, out_load=out_load)
+    return _pack(compiled.batch, compiled, columns)
 
 
 def _searchline_cap(compiled: CompiledBrickBatch,
@@ -601,24 +649,29 @@ def _chain_stage_caps_only(caps: np.ndarray, n_stages: np.ndarray,
     return acc
 
 
-def _pack(batch, compiled, read_delay, read_energy, write_energy, setup,
-          hold, clock_cap, wbl_cap, area, leakage, match_delay,
-          match_energy, *components) -> List[BrickPerformance]:
+#: Delay/energy breakdown columns, in ``BrickPerformance.components``
+#: order.
+_COMPONENT_KEYS = ("t_ctrl", "t_nand", "t_chain", "t_wl_wire", "t_cell",
+                   "t_sense", "t_arbl", "e_ctrl", "e_wl", "e_lbl",
+                   "e_sense", "e_arbl", "e_idle", "e_crowbar", "e_wbl",
+                   "e_wwl")
+
+
+def _pack(batch, compiled,
+          columns: Dict[str, np.ndarray]) -> List[BrickPerformance]:
     """Scatter the result columns back into per-point scalar objects."""
-    comp_keys = ("t_ctrl", "t_nand", "t_chain", "t_wl_wire", "t_cell",
-                 "t_sense", "t_arbl", "e_ctrl", "e_wl", "e_lbl",
-                 "e_sense", "e_arbl", "e_idle", "e_crowbar", "e_wbl",
-                 "e_wwl")
-    cols = [col.tolist() for col in
-            (read_delay, read_energy, write_energy, setup, clock_cap,
-             wbl_cap, area, leakage) + components]
+    comp_keys = _COMPONENT_KEYS
+    cols = [columns[name].tolist() for name in
+            ("read_delay", "read_energy", "write_energy", "setup",
+             "clock_cap", "wbl_cap", "area_um2", "leakage_w")]
+    cols += [columns["components"][key].tolist() for key in comp_keys]
     (rd, re_, we, su, cc, wb, ar, lk) = cols[:8]
     comp_cols = cols[8:]
     match_pos = {int(idx): j
                  for j, idx in enumerate(compiled.cam_idx.tolist())}
-    match_delay = match_delay.tolist()
-    match_energy = match_energy.tolist()
-    hold = float(hold)
+    match_delay = columns["match_delay"].tolist()
+    match_energy = columns["match_energy"].tolist()
+    hold = float(columns["hold"])
     dwl_cap = float(compiled.nand_cap)
     words = batch.words.tolist()
     bits = batch.bits.tolist()

@@ -43,7 +43,7 @@ from .bricks import (
 )
 from .cells import make_stdcell_library
 from .errors import ReproError, exit_code_for, failure_domain
-from .explore import sweep_partitions
+from .explore import SweepEngine
 from .liberty import write_liberty
 from .obs.export import (
     read_trace_jsonl,
@@ -205,14 +205,29 @@ def _print_sweep_data(data) -> None:
 def cmd_sweep(args) -> int:
     from .serve.handlers import sweep_report_data
     session = _session(args)
-    result = sweep_partitions(
-        total_words_options=(args.total_words,),
+    engine = SweepEngine(
+        session,
+        total_words_options=tuple(args.total_words),
         bits_options=tuple(args.bits),
         brick_words_options=tuple(args.brick_words),
         memory_type=args.type,
-        keep_going=args.keep_going,
-        session=session)
-    _print_sweep_data(sweep_report_data(result))
+        top_k=args.top_k,
+        shard_size=args.shard_size,
+        mode=args.mode)
+    result = engine.run(keep_going=args.keep_going)
+    if args.refine:
+        result = engine.refine(rounds=args.refine,
+                               keep_going=args.keep_going)
+    if result.mode == "sharded":
+        refined = (f" + {result.n_refined} refined"
+                   if result.n_refined else "")
+        print(f"sharded sweep: {result.n_priced} points priced "
+              f"({result.n_points} lattice{refined}) in "
+              f"{result.shards_done}/{result.shards_total} shards "
+              f"({result.resumed_shards} resumed); "
+              f"frontier {len(result.frontier)}, "
+              f"top-{len(result.top)} kept", file=sys.stderr)
+    _print_sweep_data(sweep_report_data(result.to_sweep_result()))
     return 0
 
 
@@ -312,9 +327,11 @@ def cmd_client(args) -> int:
             print(render_brick_report(result["data"]))
         elif cmd == "sweep":
             data = client.sweep_data(
-                total_words=args.total_words, bits=list(args.bits),
+                total_words=list(args.total_words),
+                bits=list(args.bits),
                 brick_words=list(args.brick_words), type=args.type,
-                keep_going=args.keep_going)
+                keep_going=args.keep_going, mode=args.mode,
+                shard_size=args.shard_size, top_k=args.top_k)
             _print_sweep_data(data)
         elif cmd == "yield":
             result = client.request("yield", {
@@ -481,12 +498,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("sweep", parents=[obs],
                        help="design-space exploration")
-    p.add_argument("--total-words", type=int, default=128)
+    p.add_argument("--total-words", type=int, nargs="+",
+                   default=[128],
+                   help="memory sizes to sweep (one or more)")
     p.add_argument("--bits", type=int, nargs="+",
                    default=[8, 16, 32])
     p.add_argument("--brick-words", type=int, nargs="+",
                    default=[16, 32, 64])
     p.add_argument("--type", default="8T")
+    p.add_argument("--mode", default="auto",
+                   choices=["auto", "cached", "sharded"],
+                   help="small sweeps run the exact legacy cached "
+                        "path; large lattices shard with bounded "
+                        "memory and per-shard resume (default: auto)")
+    p.add_argument("--shard-size", type=int, default=8192,
+                   help="points per shard in sharded mode "
+                        "(default: 8192)")
+    p.add_argument("--top-k", type=int, default=16,
+                   help="best-by-score points kept besides the "
+                        "frontier (default: 16)")
+    p.add_argument("--refine", type=int, default=0, metavar="ROUNDS",
+                   help="successive-halving zoom rounds around the "
+                        "frontier after the sweep (default: 0)")
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("serve", parents=[obs],
@@ -528,11 +561,16 @@ def build_parser() -> argparse.ArgumentParser:
     c = csub.add_parser("sweep",
                         help="served design-space sweep "
                              "(stdout identical to 'repro sweep')")
-    c.add_argument("--total-words", type=int, default=128)
+    c.add_argument("--total-words", type=int, nargs="+",
+                   default=[128])
     c.add_argument("--bits", type=int, nargs="+", default=[8, 16, 32])
     c.add_argument("--brick-words", type=int, nargs="+",
                    default=[16, 32, 64])
     c.add_argument("--type", default="8T")
+    c.add_argument("--mode", default="auto",
+                   choices=["auto", "cached", "sharded"])
+    c.add_argument("--shard-size", type=int, default=8192)
+    c.add_argument("--top-k", type=int, default=16)
     c = csub.add_parser("yield",
                         help="served yield/repair analysis")
     c.add_argument("--type", default="8T",

@@ -1,4 +1,12 @@
-"""Design-space exploration: sweeps, pareto fronts, design generation."""
+"""Design-space exploration: sweeps, pareto fronts, design generation.
+
+The supported sweep entry point is :class:`SweepEngine` — one facade
+for everything from the 9-point Fig. 4c study to a million-point
+sharded, checkpointed lattice sweep (``plan() -> run() ->
+iter_results()/frontier()``).  The module-level ``plan_sweep`` /
+``sweep_partitions`` / ``execute_sweep_plan`` trio remains as
+deprecated shims.
+"""
 
 from .chip_gen import (
     DesignTemplate,
@@ -6,7 +14,33 @@ from .chip_gen import (
     mac_core_generator,
     mac_template,
 )
-from .pareto import dominates, knee_point, pareto_front
+from .engine import (
+    AUTO_SHARD_THRESHOLD,
+    ScalePlan,
+    ScaleResult,
+    SweepEngine,
+)
+from .lattice import Lattice, LatticePoint, SweepSpace
+from .pareto import (
+    ParetoAccumulator,
+    TopKAccumulator,
+    dominates,
+    knee_point,
+    pareto_front,
+    pareto_mask,
+)
+from .scale import (
+    DEFAULT_OBJECTIVES,
+    OBJECTIVE_COLUMNS,
+    ScaleFailure,
+    ScalePoint,
+    ShardResult,
+    price_combos,
+    price_shard,
+    refine_candidates,
+    shard_bounds,
+    shard_checkpoint_key,
+)
 from .sweep import (
     BrickChoice,
     FailedPoint,
@@ -22,7 +56,13 @@ from .sweep import (
 __all__ = [
     "DesignTemplate", "generate_variants", "mac_core_generator",
     "mac_template",
-    "dominates", "knee_point", "pareto_front",
+    "AUTO_SHARD_THRESHOLD", "ScalePlan", "ScaleResult", "SweepEngine",
+    "Lattice", "LatticePoint", "SweepSpace",
+    "ParetoAccumulator", "TopKAccumulator", "dominates", "knee_point",
+    "pareto_front", "pareto_mask",
+    "DEFAULT_OBJECTIVES", "OBJECTIVE_COLUMNS", "ScaleFailure",
+    "ScalePoint", "ShardResult", "price_combos", "price_shard",
+    "refine_candidates", "shard_bounds", "shard_checkpoint_key",
     "BrickChoice", "FailedPoint", "SweepPlan", "SweepPoint",
     "SweepResult", "execute_sweep_plan", "optimize_brick_selection",
     "plan_sweep", "sweep_partitions",

@@ -1,0 +1,583 @@
+"""The redesigned exploration facade: one engine for sweeps of any size.
+
+:class:`SweepEngine` subsumes the deprecated ``plan_sweep`` /
+``sweep_partitions`` / ``execute_sweep_plan`` trio behind a single
+``plan() -> run() -> iter_results()/frontier()`` shape:
+
+* **cached mode** (small sweeps, the Fig. 4c path): delegates to the
+  historical grid executor, so per-point cache keys, tracing spans and
+  rendered tables stay byte-identical with every release before the
+  redesign — and all priced points are retained.
+* **sharded mode** (10^5–10^6-point lattices): fans fixed-size shards
+  over :func:`repro.perf.parallel.parallel_imap`, folds each completed
+  shard's local Pareto front and top-K into online accumulators, and
+  checkpoints every shard in ``perf.cache`` under the plan fingerprint
+  — memory stays bounded by ``frontier + top_k`` and a killed sweep
+  resumes warm, reproducing a byte-identical frontier.
+
+``mode="auto"`` (the default) picks cached below
+:data:`AUTO_SHARD_THRESHOLD` points and sharded above it, so callers
+never choose; :meth:`SweepEngine.refine` adds successive-halving zoom
+rounds around the frontier after either mode.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..errors import ExplorationError
+from ..obs.trace import maybe_span
+from ..perf.characterize import _executor_fault_sink
+from ..perf.fingerprint import cache_key
+from ..perf.parallel import parallel_imap
+from ..perf.timer import Stopwatch
+from ..session import FaultEvent, Session
+from .lattice import Lattice, SweepSpace
+from .pareto import ParetoAccumulator, TopKAccumulator
+from .scale import (
+    DEFAULT_OBJECTIVES,
+    OBJECTIVE_COLUMNS,
+    ScaleFailure,
+    ScalePoint,
+    ShardResult,
+    _shard_worker,
+    price_combos,
+    refine_candidates,
+    shard_bounds,
+    shard_checkpoint_key,
+)
+from .sweep import (
+    SweepResult,
+    _execute_grid,
+    _plan_grid,
+)
+
+#: Lattices up to this many points run the exact legacy cached path
+#: under ``mode="auto"``; larger ones go sharded.
+AUTO_SHARD_THRESHOLD = 512
+
+#: Callback observing shard completion: ``progress(done, total,
+#: shard_result)``.  The serve layer uses it to surface
+#: ``shards_done/total`` in ``client stats``.
+ProgressCallback = Callable[[int, int, ShardResult], None]
+
+
+@dataclass(frozen=True)
+class ScalePlan:
+    """The pure planning half of an engine run.
+
+    Cheap to build (no pricing, no cache traffic): the serve layer
+    calls it per request just to learn the coalescing ``fingerprint``.
+    ``shards`` is the ``(start, stop)`` slicing of the lattice; cached
+    mode plans exactly one shard spanning everything.
+    """
+
+    space: SweepSpace
+    objectives: Tuple[str, ...]
+    top_k: int
+    shard_size: int
+    mode: str
+    n_points: int
+    shards: Tuple[Tuple[int, int], ...]
+    fingerprint: str
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+
+@dataclass
+class ScaleResult:
+    """What a run keeps: survivors, never the population.
+
+    ``frontier`` is the Pareto archive over ``objectives`` sorted by
+    global lattice index; ``top`` the ``(score, point)`` best-K by the
+    objective-product score.  ``points`` is only populated in cached
+    mode (where the legacy path materializes everything anyway) — in
+    sharded mode it stays ``None`` so memory is bounded.
+    """
+
+    mode: str
+    objectives: Tuple[str, ...]
+    n_points: int
+    n_priced: int
+    shards_total: int
+    shards_done: int
+    resumed_shards: int
+    frontier: List[ScalePoint]
+    top: List[Tuple[float, ScalePoint]]
+    failures: List[ScaleFailure] = field(default_factory=list)
+    wall_clock_s: float = 0.0
+    points: Optional[List[ScalePoint]] = None
+    refined_rounds: int = 0
+    n_refined: int = 0
+
+    def to_sweep_result(self) -> SweepResult:
+        """Downgrade to the legacy :class:`SweepResult` shape.
+
+        Cached mode carries every priced point, so the legacy result is
+        complete; sharded mode only has the survivors (frontier order).
+        """
+        kept = self.points if self.points is not None else self.frontier
+        return SweepResult(
+            points=[p.as_sweep_point() for p in kept],
+            wall_clock_s=self.wall_clock_s,
+            failures=[f.as_failed_point() for f in self.failures])
+
+    def frontier_json(self) -> str:
+        """Canonical JSON of the frontier (byte-comparable).
+
+        Two runs over the same plan — including one killed and resumed
+        — must produce the exact same string.
+        """
+        payload = {
+            "objectives": list(self.objectives),
+            "n_points": self.n_points,
+            "frontier": [
+                {"index": p.index, "memory_type": p.memory_type,
+                 "total_words": p.total_words, "bits": p.bits,
+                 "brick_words": p.brick_words, "stack": p.stack,
+                 "read_delay": p.read_delay,
+                 "read_energy": p.read_energy,
+                 "write_energy": p.write_energy,
+                 "area_um2": p.area_um2, "leakage_w": p.leakage_w}
+                for p in self.frontier],
+        }
+        return json.dumps(payload, sort_keys=True,
+                          separators=(",", ":"))
+
+
+class SweepEngine:
+    """Plan, run and stream one design-space sweep of any size.
+
+    Construction resolves a :class:`~repro.session.Session` exactly
+    like the legacy entry points (``tech``/``jobs``/``cache`` shims
+    accepted); the exploration space comes either from a
+    :class:`~repro.explore.lattice.SweepSpace` or the familiar
+    per-axis keywords.  Typical use::
+
+        engine = SweepEngine(session, bits_options=range(2, 34),
+                             total_words_options=[64 * k
+                                                  for k in range(1, 9)])
+        result = engine.run()          # resumable, bounded memory
+        for point in result.frontier:  # Pareto survivors by index
+            ...
+    """
+
+    def __init__(self, session: Optional[Session] = None, *,
+                 tech=None, jobs: Optional[int] = None, cache=None,
+                 space: Optional[SweepSpace] = None,
+                 total_words_options: Sequence[int] = (128,),
+                 bits_options: Sequence[int] = (8, 16, 32),
+                 brick_words_options: Sequence[int] = (16, 32, 64),
+                 memory_type: str = "8T",
+                 memory_types: Sequence[str] = (),
+                 objectives: Sequence[str] = DEFAULT_OBJECTIVES,
+                 top_k: int = 16,
+                 shard_size: int = 8192,
+                 mode: str = "auto") -> None:
+        self.session = Session.ensure(session, tech=tech, jobs=jobs,
+                                      cache=cache)
+        if space is None:
+            space = SweepSpace.from_options(
+                total_words_options=total_words_options,
+                bits_options=bits_options,
+                brick_words_options=brick_words_options,
+                memory_type=memory_type, memory_types=memory_types)
+        self.space = space
+        self.objectives = tuple(objectives)
+        if not self.objectives:
+            raise ExplorationError("need at least one objective")
+        for name in self.objectives:
+            if name not in OBJECTIVE_COLUMNS:
+                raise ExplorationError(
+                    f"unknown objective {name!r}; "
+                    f"known: {OBJECTIVE_COLUMNS}")
+        if top_k < 0:
+            raise ExplorationError(f"top_k must be >= 0, got {top_k}")
+        if shard_size < 1:
+            raise ExplorationError(
+                f"shard_size must be >= 1, got {shard_size}")
+        if mode not in ("auto", "cached", "sharded"):
+            raise ExplorationError(
+                f"mode must be auto/cached/sharded, got {mode!r}")
+        self.top_k = top_k
+        self.shard_size = shard_size
+        self.mode = mode
+        self._plan: Optional[ScalePlan] = None
+        self._result: Optional[ScaleResult] = None
+        self._refine_offset = 0
+        self._refined_combos: set = set()
+
+    # -- planning ----------------------------------------------------
+
+    def plan(self) -> ScalePlan:
+        """Lay out and fingerprint the sweep (pure, cached)."""
+        if self._plan is not None:
+            return self._plan
+        lattice = Lattice(self.space)
+        n = len(lattice)
+        if n == 0:
+            raise ExplorationError("sweep produced no points")
+        mode = self.mode
+        if mode == "auto":
+            mode = ("cached"
+                    if (n <= AUTO_SHARD_THRESHOLD
+                        and len(self.space.memory_types) == 1)
+                    else "sharded")
+        if mode == "cached" and len(self.space.memory_types) != 1:
+            raise ExplorationError(
+                "cached mode sweeps a single memory type; "
+                "use sharded mode for multi-type lattices")
+        if mode == "cached":
+            shards: Tuple[Tuple[int, int], ...] = ((0, n),)
+        else:
+            shards = tuple(shard_bounds(n, self.shard_size))
+        space = self.space
+        fp = cache_key("explore-plan", space.memory_types,
+                       space.total_words_options, space.bits_options,
+                       space.brick_words_options,
+                       list(self.objectives), self.top_k,
+                       self.shard_size, self.session.tech)
+        self._plan = ScalePlan(space=space,
+                               objectives=self.objectives,
+                               top_k=self.top_k,
+                               shard_size=self.shard_size, mode=mode,
+                               n_points=n, shards=shards,
+                               fingerprint=fp)
+        return self._plan
+
+    # -- execution ---------------------------------------------------
+
+    def run(self, keep_going: bool = False, resume: bool = True,
+            progress: Optional[ProgressCallback] = None
+            ) -> ScaleResult:
+        """Execute the whole sweep; returns the reduced result.
+
+        ``resume=True`` (default) reuses per-shard checkpoints from the
+        session cache — a previously killed run only re-prices shards
+        that never completed.  ``progress`` observes each shard as it
+        lands (including resumed ones).
+        """
+        plan = self.plan()
+        if plan.mode == "cached":
+            result = self._run_cached(plan, keep_going, progress)
+        else:
+            result = self._run_sharded(plan, keep_going, resume,
+                                       progress)
+        self._result = result
+        self._refine_offset = plan.n_points
+        self._refined_combos = set()
+        return result
+
+    def frontier(self) -> List[ScalePoint]:
+        """The Pareto survivors (runs the sweep on first call)."""
+        if self._result is None:
+            self.run()
+        return list(self._result.frontier)
+
+    def iter_results(self) -> Iterator[ScalePoint]:
+        """Stream the surviving points: frontier first (by index),
+        then any top-K extras not already on the frontier."""
+        if self._result is None:
+            self.run()
+        seen = set()
+        for point in self._result.frontier:
+            seen.add(point.index)
+            yield point
+        for _, point in self._result.top:
+            if point.index not in seen:
+                seen.add(point.index)
+                yield point
+
+    def iter_shards(self, keep_going: bool = False,
+                    resume: bool = True) -> Iterator[ShardResult]:
+        """Stream :class:`ShardResult` records as shards complete.
+
+        Resumed (checkpointed) shards yield first, then fresh ones in
+        completion order.  Consuming the whole iterator leaves
+        :meth:`frontier` ready, exactly as :meth:`run` would.
+        """
+        plan = self.plan()
+        collected: Dict[int, ShardResult] = {}
+
+        def keep(done: int, total: int, shard: ShardResult) -> None:
+            collected[shard.shard] = shard
+
+        if plan.mode == "cached":
+            result = self._run_cached(plan, keep_going, keep)
+        else:
+            watch = Stopwatch()
+            for shard in self._sharded_stream(plan, keep_going,
+                                              resume, keep):
+                yield shard
+            result = self._merge(plan, collected, watch.elapsed())
+            self._result = result
+            self._refine_offset = plan.n_points
+            self._refined_combos = set()
+            return
+        self._result = result
+        self._refine_offset = plan.n_points
+        self._refined_combos = set()
+        for shard_index in sorted(collected):
+            yield collected[shard_index]
+
+    # -- refinement --------------------------------------------------
+
+    def refine(self, rounds: int = 1,
+               keep_going: bool = False) -> ScaleResult:
+        """Successive-halving zoom around the current frontier.
+
+        Each round prices the midpoint candidates between frontier
+        points and their lattice neighbours, folds the survivors into
+        the frontier/top-K, and repeats on the (possibly moved)
+        frontier.  Stops early when a round yields no new candidates.
+        Refined points get indices past the lattice (``n_points +
+        k``), so provenance stays unambiguous.
+        """
+        if rounds < 0:
+            raise ExplorationError(
+                f"rounds must be >= 0, got {rounds}")
+        if self._result is None:
+            self.run(keep_going=keep_going)
+        result = self._result
+        session = self.session
+        frontier_acc, top_acc = self._rebuild_accumulators(result)
+        for _ in range(rounds):
+            combos = refine_candidates(self.space,
+                                       frontier_acc.front(),
+                                       exclude=self._refined_combos)
+            if not combos:
+                break
+            shard = price_combos(combos, session.tech,
+                                 objectives=self.objectives,
+                                 top_k=self.top_k,
+                                 keep_going=keep_going,
+                                 start_index=self._refine_offset)
+            self._refine_offset += len(combos)
+            self._refined_combos.update(combos)
+            for key, item, vec in shard.frontier:
+                frontier_acc.add(key, item, vec)
+            for score, key, item in shard.top:
+                top_acc.add(key, item, score)
+            result.failures.extend(shard.failures)
+            result.n_priced += shard.n_priced
+            result.n_refined += len(combos)
+            result.refined_rounds += 1
+            if session.metrics is not None:
+                session.metrics.counter(
+                    "explore.scale.refined_points").inc(len(combos))
+        result.failures.sort(key=lambda f: f.index)
+        result.frontier = frontier_acc.front()
+        result.top = [(score, item)
+                      for score, _, item in top_acc.entries()]
+        return result
+
+    # -- internals ---------------------------------------------------
+
+    def _rebuild_accumulators(
+            self, result: ScaleResult
+    ) -> Tuple[ParetoAccumulator, TopKAccumulator]:
+        frontier_acc = ParetoAccumulator()
+        for point in result.frontier:
+            frontier_acc.add(point.index, point,
+                             point.vector(self.objectives))
+        top_acc = TopKAccumulator(self.top_k)
+        for score, point in result.top:
+            top_acc.add(point.index, point, score)
+        return frontier_acc, top_acc
+
+    def _run_cached(self, plan: ScalePlan, keep_going: bool,
+                    progress: Optional[ProgressCallback]
+                    ) -> ScaleResult:
+        """The exact legacy grid path, reduced to engine shape."""
+        session = self.session
+        space = plan.space
+        memory_type = space.memory_types[0]
+        legacy_plan = _plan_grid(
+            session.tech,
+            total_words_options=space.total_words_options,
+            bits_options=space.bits_options,
+            brick_words_options=space.brick_words_options,
+            memory_type=memory_type)
+        legacy = _execute_grid(legacy_plan, session,
+                               keep_going=keep_going)
+        failed = {f.index for f in legacy.failures}
+        point_iter = iter(legacy.points)
+        scale_points: List[ScalePoint] = []
+        for i, (bits, brick_words, total_words,
+                stack) in enumerate(legacy_plan.grid):
+            if i in failed:
+                continue
+            p = next(point_iter)
+            scale_points.append(ScalePoint(
+                index=i, memory_type=memory_type,
+                total_words=total_words, bits=bits,
+                brick_words=brick_words, stack=stack,
+                read_delay=p.read_delay, read_energy=p.read_energy,
+                write_energy=p.write_energy, area_um2=p.area_um2,
+                leakage_w=p.leakage_w))
+        frontier_acc = ParetoAccumulator()
+        top_acc = TopKAccumulator(self.top_k)
+        for point in scale_points:
+            vec = point.vector(self.objectives)
+            frontier_acc.add(point.index, point, vec)
+            score = 1.0
+            for value in vec:
+                score *= value
+            top_acc.add(point.index, point, score)
+        failures = [ScaleFailure(
+            index=f.index, memory_type=memory_type,
+            total_words=f.total_words, bits=f.bits,
+            brick_words=f.brick_words, stack=f.stack, error=f.error)
+            for f in legacy.failures]
+        result = ScaleResult(
+            mode="cached", objectives=self.objectives,
+            n_points=plan.n_points, n_priced=len(scale_points),
+            shards_total=1, shards_done=1, resumed_shards=0,
+            frontier=frontier_acc.front(),
+            top=[(score, item)
+                 for score, _, item in top_acc.entries()],
+            failures=failures, wall_clock_s=legacy.wall_clock_s,
+            points=scale_points)
+        if progress is not None:
+            progress(1, 1, ShardResult(
+                shard=0, start=0, stop=plan.n_points,
+                n_priced=len(scale_points),
+                frontier=frontier_acc.entries(),
+                top=top_acc.entries(), failures=list(failures),
+                wall_clock_s=legacy.wall_clock_s))
+        return result
+
+    def _sharded_stream(self, plan: ScalePlan, keep_going: bool,
+                        resume: bool,
+                        progress: Optional[ProgressCallback]
+                        ) -> Iterator[ShardResult]:
+        """Yield every shard (checkpointed first, then computed)."""
+        session = self.session
+        cache = session.cache
+        done = 0
+        todo: List[int] = []
+        with maybe_span(session.tracer, "sweep_scale", kind="sweep",
+                        n_points=plan.n_points,
+                        shards=plan.n_shards,
+                        mode="sharded") as span:
+            for shard_index in range(plan.n_shards):
+                key = shard_checkpoint_key(plan.fingerprint,
+                                           keep_going, shard_index)
+                if resume and cache is not None:
+                    hit, value = cache.get(key)
+                    if hit and isinstance(value, ShardResult):
+                        done += 1
+                        self._note_shard(value, resumed=True)
+                        if progress is not None:
+                            progress(done, plan.n_shards, value)
+                        yield value
+                        continue
+                todo.append(shard_index)
+            if span is not None:
+                span.attrs.update(resumed_shards=done)
+            self._resumed = done
+            tasks = [(plan.space, index, plan.shards[index][0],
+                      plan.shards[index][1], session.tech,
+                      self.objectives, self.top_k, keep_going)
+                     for index in todo]
+            on_fault = _executor_fault_sink(session.sink)
+            for _, shard in parallel_imap(_shard_worker, tasks,
+                                          jobs=session.jobs,
+                                          pool=session.pool,
+                                          on_fault=on_fault):
+                done += 1
+                if cache is not None:
+                    cache.put(shard_checkpoint_key(
+                        plan.fingerprint, keep_going, shard.shard),
+                        shard)
+                self._note_shard(shard, resumed=False)
+                if progress is not None:
+                    progress(done, plan.n_shards, shard)
+                yield shard
+            if span is not None:
+                span.attrs.update(shards_done=done)
+
+    def _note_shard(self, shard: ShardResult, resumed: bool) -> None:
+        """Per-shard observability: span + counters + fault events."""
+        session = self.session
+        if session.tracer is not None:
+            pspan = session.tracer.open(
+                f"shard[{shard.start}:{shard.stop}]",
+                kind="sweep_shard", shard=shard.shard,
+                n_points=shard.n_points, n_priced=shard.n_priced,
+                frontier=len(shard.frontier), resumed=resumed)
+            session.tracer.close(pspan, ok=True)
+        if session.metrics is not None:
+            session.metrics.counter(
+                "explore.scale.shards_done").inc()
+            if resumed:
+                session.metrics.counter(
+                    "explore.scale.shards_resumed").inc()
+            session.metrics.counter(
+                "explore.sweep.points_evaluated").inc(shard.n_priced)
+            session.metrics.counter(
+                "explore.sweep.points_skipped").inc(
+                    len(shard.failures))
+        if not resumed:
+            for failure in shard.failures:
+                session.emit(FaultEvent(
+                    domain="sweep", name=failure.label,
+                    index=failure.index, error=failure.error,
+                    recovered=True))
+
+    def _run_sharded(self, plan: ScalePlan, keep_going: bool,
+                     resume: bool,
+                     progress: Optional[ProgressCallback]
+                     ) -> ScaleResult:
+        watch = Stopwatch()
+        collected: Dict[int, ShardResult] = {}
+        for shard in self._sharded_stream(plan, keep_going, resume,
+                                          progress):
+            collected[shard.shard] = shard
+        return self._merge(plan, collected, watch.elapsed())
+
+    def _merge(self, plan: ScalePlan,
+               collected: Dict[int, ShardResult],
+               wall_clock_s: float) -> ScaleResult:
+        """Fold shard survivors into the global frontier/top-K."""
+        frontier_acc = ParetoAccumulator()
+        top_acc = TopKAccumulator(self.top_k)
+        failures: List[ScaleFailure] = []
+        n_priced = 0
+        for shard_index in sorted(collected):
+            shard = collected[shard_index]
+            n_priced += shard.n_priced
+            for key, item, vec in shard.frontier:
+                frontier_acc.add(key, item, vec)
+            for score, key, item in shard.top:
+                top_acc.add(key, item, score)
+            failures.extend(shard.failures)
+        failures.sort(key=lambda f: f.index)
+        if not n_priced:
+            if failures:
+                raise ExplorationError(
+                    f"every sweep point failed "
+                    f"({len(failures)} failures; first: "
+                    f"{failures[0].error})")
+            raise ExplorationError("sweep produced no points")
+        return ScaleResult(
+            mode="sharded", objectives=self.objectives,
+            n_points=plan.n_points, n_priced=n_priced,
+            shards_total=plan.n_shards, shards_done=len(collected),
+            resumed_shards=getattr(self, "_resumed", 0),
+            frontier=frontier_acc.front(),
+            top=[(score, item)
+                 for score, _, item in top_acc.entries()],
+            failures=failures, wall_clock_s=wall_clock_s)

@@ -4,11 +4,24 @@ The paper's synthesis flow "enables rapid design-space exploration for
 the overall system by generating pareto-curves of possible block designs"
 (Section 1).  This module extracts non-dominated sets from sweep results
 over arbitrary metric tuples.
+
+Two shapes of extraction coexist:
+
+* :func:`pareto_front` — the one-shot object API over a materialized
+  point list (the 9-point Fig. 4c path).
+* :func:`pareto_mask` + :class:`ParetoAccumulator` — the streaming
+  array path the sharded million-point explorer rides: each shard is
+  reduced to its local front with one vectorized mask, then the shard
+  fronts merge online into a bounded non-dominated archive whose final
+  ordering is independent of merge order.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence, Tuple, TypeVar
+import heapq
+from typing import Any, Callable, List, Sequence, Tuple, TypeVar
+
+import numpy as np
 
 from ..errors import ExplorationError
 
@@ -42,6 +55,178 @@ def pareto_front(points: Sequence[T], metrics: MetricFn) -> List[T]:
             continue
         front.append(point)
     return front
+
+
+def pareto_mask(vectors: Any) -> np.ndarray:
+    """Boolean mask of the non-dominated rows of an ``(n, k)`` array.
+
+    Vectorized counterpart of :func:`pareto_front` with identical
+    semantics (minimization; duplicate rows all survive).  Cost is
+    ``O(n * f)`` array work where ``f`` is the front size, so a
+    10^5-row shard reduces in milliseconds.
+    """
+    costs = np.asarray(vectors, dtype=np.float64)
+    if costs.ndim != 2:
+        raise ExplorationError(
+            f"pareto_mask needs an (n, k) metric array, "
+            f"got shape {costs.shape}")
+    n = costs.shape[0]
+    survivors = np.arange(n)
+    pivot = 0
+    while pivot < costs.shape[0]:
+        v = costs[pivot]
+        # Keep rows the pivot does NOT dominate: better somewhere, or
+        # exactly equal everywhere (duplicates survive, as in
+        # pareto_front).
+        keep = (costs < v).any(axis=1) | (costs == v).all(axis=1)
+        keep[pivot] = True
+        survivors = survivors[keep]
+        costs = costs[keep]
+        pivot = int(keep[:pivot].sum()) + 1
+    mask = np.zeros(n, dtype=bool)
+    mask[survivors] = True
+    return mask
+
+
+class ParetoAccumulator:
+    """Online non-dominated archive with order-independent output.
+
+    Entries are ``(key, item, vector)`` triples: ``key`` is any stable
+    orderable identity (the sharded sweep uses the global point index),
+    ``vector`` the minimized metric tuple.  :meth:`add` keeps the
+    archive non-dominated after every insertion; :meth:`merge` folds in
+    another accumulator (shard fronts arriving in completion order);
+    :meth:`front` returns the surviving items sorted by key — so any
+    interleaving of adds and merges over the same population yields the
+    same front as a full-materialization :func:`pareto_front` pass.
+
+    Memory is bounded by the front size, never the population size.
+    """
+
+    def __init__(self) -> None:
+        self._keys: List[Any] = []
+        self._items: List[Any] = []
+        self._vectors: List[Tuple[float, ...]] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def add(self, key: Any, item: Any,
+            vector: Sequence[float]) -> bool:
+        """Offer one point; returns whether it joined the archive."""
+        vec = tuple(float(v) for v in vector)
+        for existing in self._vectors:
+            if dominates(existing, vec):
+                return False
+        keep = [i for i, existing in enumerate(self._vectors)
+                if not dominates(vec, existing)]
+        if len(keep) != len(self._vectors):
+            self._keys = [self._keys[i] for i in keep]
+            self._items = [self._items[i] for i in keep]
+            self._vectors = [self._vectors[i] for i in keep]
+        self._keys.append(key)
+        self._items.append(item)
+        self._vectors.append(vec)
+        return True
+
+    def add_array(self, keys: Sequence[Any], items: Sequence[Any],
+                  vectors: Any) -> int:
+        """Bulk-offer a population (one shard); returns survivors kept.
+
+        The candidates are first reduced with one :func:`pareto_mask`
+        call, then only the local front rows go through :meth:`add`.
+        """
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if not len(keys):
+            return 0
+        kept = 0
+        for i in np.flatnonzero(pareto_mask(vectors)):
+            kept += int(self.add(keys[i], items[i], vectors[i]))
+        return kept
+
+    def merge(self, other: "ParetoAccumulator") -> None:
+        """Fold another archive into this one."""
+        for key, item, vec in zip(other._keys, other._items,
+                                  other._vectors):
+            self.add(key, item, vec)
+
+    def entries(self) -> List[Tuple[Any, Any, Tuple[float, ...]]]:
+        """``(key, item, vector)`` triples sorted by key."""
+        order = sorted(range(len(self._keys)),
+                       key=lambda i: self._keys[i])
+        return [(self._keys[i], self._items[i], self._vectors[i])
+                for i in order]
+
+    def front(self) -> List[Any]:
+        """The archived items, sorted by key (deterministic)."""
+        return [item for _, item, _ in self.entries()]
+
+
+class TopKAccumulator:
+    """Keep the ``k`` best items by a scalar score (minimized).
+
+    Deterministic under any offer order: ties break on ``key`` (the
+    global point index in the sharded sweep), so a resumed or
+    differently-scheduled sweep reports the same top-K list.
+    """
+
+    def __init__(self, k: int) -> None:
+        if k < 0:
+            raise ExplorationError(f"top-k must be >= 0, got {k}")
+        self.k = k
+        # Max-heap of (-score, -key) -> (score, key, item): the root is
+        # the worst kept entry, evicted when a better offer arrives.
+        self._heap: List[Tuple[float, Any, int, Any]] = []
+        self._counter = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def add(self, key: Any, item: Any, score: float) -> bool:
+        if self.k == 0:
+            return False
+        entry = (-float(score), _NegatedKey(key), self._counter, item)
+        self._counter += 1
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, entry)
+            return True
+        if entry > self._heap[0]:
+            heapq.heapreplace(self._heap, entry)
+            return True
+        return False
+
+    def merge(self, other: "TopKAccumulator") -> None:
+        for neg_score, neg_key, _, item in list(other._heap):
+            self.add(neg_key.value, item, -neg_score)
+
+    def entries(self) -> List[Tuple[float, Any, Any]]:
+        """``(score, key, item)`` sorted best-first (score, then key)."""
+        ordered = sorted(((-neg_score, neg_key.value, item)
+                          for neg_score, neg_key, _, item in self._heap),
+                         key=lambda e: (e[0], e[1]))
+        return ordered
+
+    def top(self) -> List[Any]:
+        return [item for _, _, item in self.entries()]
+
+
+class _NegatedKey:
+    """Reverses the ordering of a key so a min-heap acts as max-heap."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_NegatedKey") -> bool:
+        return other.value < self.value
+
+    def __gt__(self, other: "_NegatedKey") -> bool:
+        return other.value > self.value
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, _NegatedKey)
+                and other.value == self.value)
 
 
 def knee_point(points: Sequence[T], metrics: MetricFn) -> T:

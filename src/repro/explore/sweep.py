@@ -10,10 +10,21 @@ milliseconds per point, which is the paper's headline usability claim.
 :func:`optimize_brick_selection` implements the paper's *future work*
 (Section 6): let the flow pick the brick size like a standard-cell drive
 selection instead of taking it as an input.
+
+The module-level trio ``plan_sweep`` / ``sweep_partitions`` /
+``execute_sweep_plan`` is **deprecated** in favour of the
+:class:`~repro.explore.engine.SweepEngine` facade, which subsumes all
+three behind one ``plan() -> run() -> frontier()`` shape and scales the
+same sweep to 10^6 points.  The shims below keep old callers working
+(identical results, a :class:`DeprecationWarning` on call); the private
+``_plan_grid`` / ``_execute_grid`` / ``_sweep_partitions_impl``
+functions are the warning-free implementations the engine's
+small-sweep path and :class:`~repro.session.Session` delegate to.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -59,13 +70,21 @@ class SweepPoint:
 
 @dataclass(frozen=True)
 class FailedPoint:
-    """One design point the sweep skipped under ``keep_going``."""
+    """One design point the sweep skipped under ``keep_going``.
+
+    ``index`` is the point's position in the sweep's deterministic
+    enumeration (grid order for the Fig. 4c path, global lattice index
+    for sharded sweeps); ``SweepResult.failures`` is sorted by it, so
+    the failure list is identical regardless of executor completion
+    order.  ``-1`` marks legacy records built before the field existed.
+    """
 
     total_words: int
     bits: int
     brick_words: int
     stack: int
     error: str
+    index: int = -1
 
     @property
     def label(self) -> str:
@@ -126,7 +145,7 @@ class SweepPlan:
         return len(self.grid)
 
 
-def plan_sweep(tech: Technology,
+def _plan_grid(tech: Technology,
                total_words_options: Sequence[int] = (128,),
                bits_options: Sequence[int] = (8, 16, 32),
                brick_words_options: Sequence[int] = (16, 32, 64),
@@ -153,15 +172,16 @@ def plan_sweep(tech: Technology,
                      memory_type=memory_type, fingerprint=fp)
 
 
-def sweep_partitions(tech: Optional[Technology] = None,
-                     total_words_options: Sequence[int] = (128,),
-                     bits_options: Sequence[int] = (8, 16, 32),
-                     brick_words_options: Sequence[int] = (16, 32, 64),
-                     memory_type: str = "8T",
-                     jobs: Optional[int] = None,
-                     cache=None,
-                     keep_going: bool = False,
-                     session: Optional[Session] = None) -> SweepResult:
+def _sweep_partitions_impl(
+        tech: Optional[Technology] = None,
+        total_words_options: Sequence[int] = (128,),
+        bits_options: Sequence[int] = (8, 16, 32),
+        brick_words_options: Sequence[int] = (16, 32, 64),
+        memory_type: str = "8T",
+        jobs: Optional[int] = None,
+        cache=None,
+        keep_going: bool = False,
+        session: Optional[Session] = None) -> SweepResult:
     """The Fig. 4c sweep: single-partition memories of each size built
     from each brick flavour.
 
@@ -186,16 +206,16 @@ def sweep_partitions(tech: Optional[Technology] = None,
     *every* point failed raises :class:`ExplorationError`.
     """
     session = Session.ensure(session, tech=tech, jobs=jobs, cache=cache)
-    plan = plan_sweep(session.tech,
+    plan = _plan_grid(session.tech,
                       total_words_options=total_words_options,
                       bits_options=bits_options,
                       brick_words_options=brick_words_options,
                       memory_type=memory_type)
-    return execute_sweep_plan(plan, session, keep_going=keep_going)
+    return _execute_grid(plan, session, keep_going=keep_going)
 
 
-def execute_sweep_plan(plan: SweepPlan, session: Session,
-                       keep_going: bool = False) -> SweepResult:
+def _execute_grid(plan: SweepPlan, session: Session,
+                  keep_going: bool = False) -> SweepResult:
     """Run the blocking half of a :class:`SweepPlan` under ``session``.
 
     This is the function the server ships off the asyncio loop via
@@ -219,15 +239,16 @@ def execute_sweep_plan(plan: SweepPlan, session: Session,
                                     pool=session.pool)
         points: List[SweepPoint] = []
         failures: List[FailedPoint] = []
-        for (bits, brick_words, total_words, stack), est in zip(
-                grid, estimates):
+        for grid_index, ((bits, brick_words, total_words, stack),
+                         est) in enumerate(zip(grid, estimates)):
             spec_label = (f"{total_words}x{bits}b/"
                           f"{brick_words}w")
             if isinstance(est, TaskFailure):
                 failed = FailedPoint(
                     total_words=total_words, bits=bits,
                     brick_words=brick_words, stack=stack,
-                    error=f"{est.kind}: {est.error}")
+                    error=f"{est.kind}: {est.error}",
+                    index=grid_index)
                 failures.append(failed)
                 if session.tracer is not None:
                     pspan = session.tracer.open(
@@ -265,6 +286,9 @@ def execute_sweep_plan(plan: SweepPlan, session: Session,
             "explore.sweep.points_evaluated").inc(len(points))
         session.metrics.counter(
             "explore.sweep.points_skipped").inc(len(failures))
+    # Deterministic regardless of executor completion order: failures
+    # always come back sorted by their grid position.
+    failures.sort(key=lambda f: f.index)
     if not points:
         raise ExplorationError(
             f"every sweep point failed "
@@ -281,7 +305,7 @@ class BrickChoice:
     objective_value: float
 
 
-def optimize_brick_selection(
+def _optimize_brick_selection_impl(
         tech: Optional[Technology] = None,
         total_words: int = 128, bits: int = 8,
         brick_words_options: Sequence[int] = (8, 16, 32, 64, 128),
@@ -307,7 +331,7 @@ def optimize_brick_selection(
         raise ExplorationError(
             f"no brick size in {list(brick_words_options)} divides "
             f"{total_words}")
-    result = sweep_partitions(
+    result = _sweep_partitions_impl(
         total_words_options=(total_words,), bits_options=(bits,),
         brick_words_options=viable, memory_type=memory_type,
         session=session)
@@ -323,3 +347,73 @@ def optimize_brick_selection(
 
     winner = min(candidates, key=cost)
     return BrickChoice(point=winner, objective_value=cost(winner))
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead "
+        f"(see repro.explore.SweepEngine)",
+        DeprecationWarning, stacklevel=3)
+
+
+def plan_sweep(tech: Technology,
+               total_words_options: Sequence[int] = (128,),
+               bits_options: Sequence[int] = (8, 16, 32),
+               brick_words_options: Sequence[int] = (16, 32, 64),
+               memory_type: str = "8T") -> SweepPlan:
+    """Deprecated shim: use ``SweepEngine(...).plan()``."""
+    _deprecated("plan_sweep()", "SweepEngine(...).plan()")
+    return _plan_grid(tech, total_words_options=total_words_options,
+                      bits_options=bits_options,
+                      brick_words_options=brick_words_options,
+                      memory_type=memory_type)
+
+
+def execute_sweep_plan(plan: SweepPlan, session: Session,
+                       keep_going: bool = False) -> SweepResult:
+    """Deprecated shim: use ``SweepEngine(...).run()``."""
+    _deprecated("execute_sweep_plan()", "SweepEngine(...).run()")
+    return _execute_grid(plan, session, keep_going=keep_going)
+
+
+def sweep_partitions(tech: Optional[Technology] = None,
+                     total_words_options: Sequence[int] = (128,),
+                     bits_options: Sequence[int] = (8, 16, 32),
+                     brick_words_options: Sequence[int] = (16, 32, 64),
+                     memory_type: str = "8T",
+                     jobs: Optional[int] = None,
+                     cache=None,
+                     keep_going: bool = False,
+                     session: Optional[Session] = None) -> SweepResult:
+    """Deprecated shim: use ``Session.sweep_partitions`` or
+    ``SweepEngine(...).run().to_sweep_result()``."""
+    _deprecated("sweep_partitions()", "Session.sweep_partitions() or "
+                "SweepEngine(...).run()")
+    return _sweep_partitions_impl(
+        tech=tech, total_words_options=total_words_options,
+        bits_options=bits_options,
+        brick_words_options=brick_words_options,
+        memory_type=memory_type, jobs=jobs, cache=cache,
+        keep_going=keep_going, session=session)
+
+
+def optimize_brick_selection(
+        tech: Optional[Technology] = None,
+        total_words: int = 128, bits: int = 8,
+        brick_words_options: Sequence[int] = (8, 16, 32, 64, 128),
+        delay_weight: float = 1.0,
+        energy_weight: float = 1.0,
+        area_weight: float = 0.5,
+        memory_type: str = "8T",
+        jobs: Optional[int] = None,
+        cache=None,
+        session: Optional[Session] = None) -> BrickChoice:
+    """Deprecated shim: use ``Session.optimize_brick_selection``."""
+    _deprecated("optimize_brick_selection()",
+                "Session.optimize_brick_selection()")
+    return _optimize_brick_selection_impl(
+        tech=tech, total_words=total_words, bits=bits,
+        brick_words_options=brick_words_options,
+        delay_weight=delay_weight, energy_weight=energy_weight,
+        area_weight=area_weight, memory_type=memory_type, jobs=jobs,
+        cache=cache, session=session)

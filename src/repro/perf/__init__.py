@@ -60,6 +60,7 @@ from .parallel import (
     default_executor_policy,
     executor_stats,
     live_worker_pools,
+    parallel_imap,
     parallel_map,
     reset_executor_stats,
     resolve_jobs,
@@ -77,7 +78,7 @@ __all__ = [
     "KEY_SCHEMA_VERSION", "cache_key", "fingerprint",
     "ExecutorPolicy", "ExecutorStats", "TaskFailure", "WorkerPool",
     "chunk_slices", "default_executor_policy", "executor_stats",
-    "live_worker_pools", "parallel_map",
+    "live_worker_pools", "parallel_imap", "parallel_map",
     "reset_executor_stats", "resolve_jobs",
     "set_default_executor_policy",
     "Stopwatch",

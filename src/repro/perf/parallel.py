@@ -33,7 +33,17 @@ import threading
 import time
 import weakref
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, TypeVar
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
 from ..errors import ExecutorError
 
@@ -440,3 +450,140 @@ def parallel_map(fn: Callable[[T], R], tasks: Sequence[T],
         _serial_round(fn, tasks, pending, results, return_errors,
                       wrap=used_pool)
     return results
+
+
+def _serial_iter(fn: Callable[[T], R], tasks: Sequence[T],
+                 indices: Sequence[int], return_errors: bool,
+                 wrap: bool) -> Iterator[Tuple[int, Any]]:
+    """Generator analogue of :func:`_serial_round`: yields ``(index,
+    result)`` pairs in ``indices`` order."""
+    for index in indices:
+        _executor_stats.serial_tasks += 1
+        try:
+            result = fn(tasks[index])
+        except Exception as exc:
+            _executor_stats.failures += 1
+            if return_errors:
+                yield index, TaskFailure(index=index, error=str(exc),
+                                         kind=type(exc).__name__)
+                continue
+            if wrap:
+                raise ExecutorError(
+                    f"task {index} failed after retries and serial "
+                    f"re-execution: {exc}") from exc
+            raise
+        else:
+            yield index, result
+
+
+def parallel_imap(fn: Callable[[T], R], tasks: Sequence[T],
+                  jobs: int = 1,
+                  policy: Optional[ExecutorPolicy] = None,
+                  return_errors: bool = False,
+                  on_fault: Optional[FaultCallback] = None,
+                  pool: Optional[WorkerPool] = None
+                  ) -> Iterator[Tuple[int, Any]]:
+    """Streaming :func:`parallel_map`: yield ``(index, result)`` pairs
+    as tasks *complete* instead of one ordered list at the end.
+
+    This is the work-stealing shape the sharded design-space explorer
+    consumes — each completed shard is checkpointed and folded into the
+    running frontier immediately, so progress is observable and a kill
+    loses at most the in-flight shards.  The serial path (``jobs <= 1``,
+    a single task, or a sandbox without multiprocessing) yields in task
+    order, making serial runs exactly the eager loop they always were.
+
+    Failure semantics follow :func:`parallel_map`: a task that times
+    out, loses its pool, or raises in a worker is re-executed serially
+    in the parent *after* all healthy completions have been yielded
+    (recovered results therefore arrive last, in index order); a task
+    failing even serially raises :class:`~repro.errors.ExecutorError`
+    or yields a :class:`TaskFailure` pair under ``return_errors=True``.
+    ``policy.task_timeout_s`` bounds the wait for *any* completion —
+    when nothing finishes within it, every still-pending task is
+    treated as timed out and recovered serially.
+    """
+    policy = policy if policy is not None else _default_policy
+    n = len(tasks)
+    jobs = resolve_jobs(jobs, n_tasks=n)
+    _executor_stats.tasks += n
+    if jobs <= 1 or n <= 1:
+        yield from _serial_iter(fn, tasks, range(n), return_errors,
+                                wrap=False)
+        return
+    try:
+        from concurrent.futures import (
+            FIRST_COMPLETED,
+            BrokenExecutor,
+            ProcessPoolExecutor,
+            wait,
+        )
+    except ImportError:
+        yield from _serial_iter(fn, tasks, range(n), return_errors,
+                                wrap=False)
+        return
+    try:
+        if pool is not None:
+            executor = pool.executor()
+        else:
+            executor = ProcessPoolExecutor(max_workers=min(jobs, n))
+    except (OSError, PermissionError, NotImplementedError,
+            ExecutorError):
+        yield from _serial_iter(fn, tasks, range(n), return_errors,
+                                wrap=False)
+        return
+    recover: List[int] = []
+    timed_out = False
+    pool_broke = False
+    try:
+        future_index = {executor.submit(fn, tasks[i]): i
+                        for i in range(n)}
+        _executor_stats.pool_tasks += n
+        not_done = set(future_index)
+        while not_done:
+            done, not_done = wait(not_done,
+                                  timeout=policy.task_timeout_s,
+                                  return_when=FIRST_COMPLETED)
+            if not done:
+                timed_out = True
+                for future in not_done:
+                    index = future_index[future]
+                    future.cancel()
+                    recover.append(index)
+                    _executor_stats.timeouts += 1
+                    if on_fault is not None:
+                        on_fault("Timeout", index,
+                                 f"no completion within "
+                                 f"{policy.task_timeout_s}s")
+                break
+            for future in done:
+                index = future_index[future]
+                try:
+                    result = future.result()
+                except BrokenExecutor as exc:
+                    pool_broke = True
+                    recover.append(index)
+                    if on_fault is not None:
+                        on_fault("BrokenPool", index, str(exc))
+                except Exception as exc:
+                    recover.append(index)
+                    if on_fault is not None:
+                        on_fault(type(exc).__name__, index, str(exc))
+                else:
+                    yield index, result
+            if pool_broke:
+                for future in not_done:
+                    recover.append(future_index[future])
+                break
+    finally:
+        if pool is not None:
+            if timed_out or pool_broke:
+                pool.restart(wait=False)
+        else:
+            executor.shutdown(wait=not timed_out, cancel_futures=True)
+    if pool_broke:
+        _executor_stats.pool_restarts += 1
+    if recover:
+        _executor_stats.retried_tasks += len(recover)
+        yield from _serial_iter(fn, tasks, sorted(recover),
+                                return_errors, wrap=True)

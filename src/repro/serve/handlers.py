@@ -25,8 +25,9 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from ..bricks.spec import BrickSpec
 from ..errors import ServeError
+from ..explore.engine import SweepEngine
 from ..explore.pareto import pareto_front
-from ..explore.sweep import SweepResult, execute_sweep_plan, plan_sweep
+from ..explore.sweep import SweepResult
 from ..obs.export import span_record
 from ..obs.metrics import MetricsRegistry
 from ..obs.report import render_report
@@ -65,6 +66,20 @@ class ServeContext:
         #: Most recent per-request stats entries, oldest first.
         self.request_log: "deque[Dict[str, Any]]" = deque(
             maxlen=request_log_size)
+        #: Live/finished sweep progress by plan fingerprint (bounded):
+        #: ``{shards_done, shards_total, n_points, mode, done}`` — how
+        #: ``client stats`` shows a long sweep advancing shard by shard
+        #: instead of appearing hung.
+        self.sweeps: Dict[str, Dict[str, Any]] = {}
+        self._sweeps_cap = 64
+
+    def note_sweep_progress(self, fingerprint: str,
+                            entry: Dict[str, Any]) -> None:
+        """Record one sweep's progress snapshot (evicts oldest)."""
+        self.sweeps.pop(fingerprint, None)
+        self.sweeps[fingerprint] = entry
+        while len(self.sweeps) > self._sweeps_cap:
+            self.sweeps.pop(next(iter(self.sweeps)))
 
     def cache_marks(self) -> Tuple[int, int]:
         """``(hits, lookups)`` cumulative cache counters — sampled
@@ -131,6 +146,48 @@ def _require_int_list(params: Dict[str, Any], name: str,
         raise ServeError(f"param {name!r} must be a non-empty list of "
                          f"positive integers, got {value!r}")
     return tuple(value)
+
+
+def _require_int_or_list(params: Dict[str, Any], name: str,
+                         default: Tuple[int, ...]) -> Tuple[int, ...]:
+    """Accept a single positive int or a non-empty list of them.
+
+    The sweep's ``total_words`` historically took one integer; the
+    scaled engine sweeps a whole axis, so both spellings are valid.
+    """
+    value = params.get(name, list(default))
+    if isinstance(value, int) and not isinstance(value, bool):
+        value = [value]
+    if (not isinstance(value, list) or not value
+            or any(isinstance(v, bool) or not isinstance(v, int)
+                   or v < 1 for v in value)):
+        raise ServeError(f"param {name!r} must be a positive integer "
+                         f"or non-empty list of them, got {value!r}")
+    return tuple(value)
+
+
+def _sweep_engine(session: Session,
+                  params: Dict[str, Any]) -> SweepEngine:
+    """Build the :class:`SweepEngine` one sweep request describes.
+
+    Cheap (no pricing): :func:`coalesce_key` uses it just for the plan
+    fingerprint; :func:`handle_sweep` for the actual run.
+    """
+    mode = params.get("mode", "auto")
+    if mode not in ("auto", "cached", "sharded"):
+        raise ServeError(f"param 'mode' must be auto/cached/sharded, "
+                         f"got {mode!r}")
+    return SweepEngine(
+        session,
+        total_words_options=_require_int_or_list(
+            params, "total_words", (128,)),
+        bits_options=_require_int_list(params, "bits", (8, 16, 32)),
+        brick_words_options=_require_int_list(params, "brick_words",
+                                              (16, 32, 64)),
+        memory_type=_require_type(params),
+        top_k=_require_int(params, "top_k", 16, minimum=0),
+        shard_size=_require_int(params, "shard_size", 8192),
+        mode=mode)
 
 
 def _require_type(params: Dict[str, Any], name: str = "type",
@@ -289,14 +346,7 @@ def coalesce_key(request: Request, session: Session) -> Optional[str]:
     """
     params = request.params
     if request.type == "sweep":
-        plan = plan_sweep(
-            session.tech,
-            total_words_options=(
-                _require_int(params, "total_words", 128),),
-            bits_options=_require_int_list(params, "bits", (8, 16, 32)),
-            brick_words_options=_require_int_list(
-                params, "brick_words", (16, 32, 64)),
-            memory_type=_require_type(params))
+        plan = _sweep_engine(session, params).plan()
         return f"sweep:{plan.fingerprint}"
     if request.type == "characterize":
         spec = BrickSpec(_require_type(params),
@@ -351,27 +401,46 @@ def handle_characterize(ctx: ServeContext,
 
 
 def handle_sweep(ctx: ServeContext, request: Request) -> Dict[str, Any]:
-    """Run (or join) a design-space sweep; the full point table lives in
-    the artifact store, the reply carries the id plus a summary."""
+    """Run (or join) a design-space sweep; the full point table (or, in
+    sharded mode, the frontier survivors) lives in the artifact store,
+    the reply carries the id plus a summary.
+
+    Shard completions stream into ``ctx.sweeps`` as they land, so a
+    concurrent ``stats`` request reports ``shards_done/shards_total``
+    while a long sweep is still running.
+    """
     params = request.params
     session = ctx.session
-    plan = plan_sweep(
-        session.tech,
-        total_words_options=(_require_int(params, "total_words", 128),),
-        bits_options=_require_int_list(params, "bits", (8, 16, 32)),
-        brick_words_options=_require_int_list(params, "brick_words",
-                                              (16, 32, 64)),
-        memory_type=_require_type(params))
-    result = execute_sweep_plan(plan, session,
-                                keep_going=bool(params.get("keep_going",
-                                                           False)))
+    engine = _sweep_engine(session, params)
+    plan = engine.plan()
+    fingerprint = plan.fingerprint
+
+    def progress(done: int, total: int, shard) -> None:
+        ctx.note_sweep_progress(fingerprint, {
+            "shards_done": done, "shards_total": total,
+            "n_points": plan.n_points, "mode": plan.mode,
+            "done": done >= total})
+
+    ctx.note_sweep_progress(fingerprint, {
+        "shards_done": 0, "shards_total": plan.n_shards,
+        "n_points": plan.n_points, "mode": plan.mode, "done": False})
+    scale = engine.run(keep_going=bool(params.get("keep_going",
+                                                  False)),
+                       progress=progress)
+    result = scale.to_sweep_result()
     data = sweep_report_data(result)
-    artifact = ctx.store.put("sweep", plan.fingerprint, data)
-    return {"artifact": artifact, "fingerprint": plan.fingerprint,
+    artifact = ctx.store.put("sweep", fingerprint, data)
+    return {"artifact": artifact, "fingerprint": fingerprint,
             "n_points": data["n_points"],
             "n_failures": len(data["failures"]),
             "wall_clock_s": data["wall_clock_s"],
-            "pareto": data["pareto"]}
+            "pareto": data["pareto"],
+            "mode": scale.mode,
+            "lattice_points": scale.n_points,
+            "shards_done": scale.shards_done,
+            "shards_total": scale.shards_total,
+            "resumed_shards": scale.resumed_shards,
+            "frontier_size": len(scale.frontier)}
 
 
 def handle_yield(ctx: ServeContext, request: Request) -> Dict[str, Any]:
@@ -432,6 +501,8 @@ def handle_stats(ctx: ServeContext, request: Request) -> Dict[str, Any]:
         "artifacts": len(ctx.store),
         "coalesce": ctx.coalescer.stats.as_dict(),
         "requests": list(ctx.request_log),
+        "sweeps": {fp: dict(entry)
+                   for fp, entry in ctx.sweeps.items()},
     }
 
 

@@ -344,14 +344,24 @@ class Session:
         return generate_brick_library(requests, name=name, session=self)
 
     def sweep_partitions(self, **kwargs):
-        """:func:`repro.explore.sweep.sweep_partitions` under this session."""
-        from .explore.sweep import sweep_partitions
-        return sweep_partitions(session=self, **kwargs)
+        """:func:`repro.explore.sweep` partition sweep, this session.
+
+        Delegates to the warning-free implementation (the session
+        method is the supported spelling; only the module-level
+        function is deprecated).
+        """
+        from .explore.sweep import _sweep_partitions_impl
+        return _sweep_partitions_impl(session=self, **kwargs)
 
     def optimize_brick_selection(self, total_words: int, bits: int,
                                  **kwargs):
-        """:func:`repro.explore.sweep.optimize_brick_selection` here."""
-        from .explore.sweep import optimize_brick_selection
-        return optimize_brick_selection(total_words=total_words,
-                                        bits=bits, session=self,
-                                        **kwargs)
+        """:func:`repro.explore.sweep` brick selection, this session."""
+        from .explore.sweep import _optimize_brick_selection_impl
+        return _optimize_brick_selection_impl(total_words=total_words,
+                                              bits=bits, session=self,
+                                              **kwargs)
+
+    def sweep_engine(self, **kwargs):
+        """A :class:`repro.explore.SweepEngine` bound to this session."""
+        from .explore.engine import SweepEngine
+        return SweepEngine(session=self, **kwargs)

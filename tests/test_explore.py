@@ -8,16 +8,19 @@ from repro.explore import (
     generate_variants,
     knee_point,
     mac_template,
-    optimize_brick_selection,
     pareto_front,
-    sweep_partitions,
 )
+from repro.session import Session
+
+
+def _session(tech):
+    return Session.ensure(None, tech=tech)
 
 
 class TestSweep:
     @pytest.fixture(scope="class")
     def fig4c(self, tech):
-        return sweep_partitions(tech)
+        return _session(tech).sweep_partitions()
 
     def test_default_is_paper_grid(self, fig4c):
         assert len(fig4c.points) == 9
@@ -99,8 +102,8 @@ class TestPareto:
             knee_point([], lambda p: p)
 
     def test_sweep_front_nonempty(self, tech):
-        result = sweep_partitions(tech, bits_options=(8,),
-                                  brick_words_options=(16, 32, 64))
+        result = _session(tech).sweep_partitions(
+            bits_options=(8,), brick_words_options=(16, 32, 64))
         front = pareto_front(
             result.points,
             lambda p: (p.read_delay, p.read_energy, p.area_um2))
@@ -112,19 +115,19 @@ class TestBrickSelection:
     """The Section 6 future-work optimizer."""
 
     def test_delay_priority_picks_small_bricks(self, tech):
-        fast = optimize_brick_selection(
-            tech, 128, 16, delay_weight=6.0, energy_weight=0.2,
+        fast = _session(tech).optimize_brick_selection(
+            128, 16, delay_weight=6.0, energy_weight=0.2,
             area_weight=0.0)
-        frugal = optimize_brick_selection(
-            tech, 128, 16, delay_weight=0.2, energy_weight=4.0,
+        frugal = _session(tech).optimize_brick_selection(
+            128, 16, delay_weight=0.2, energy_weight=4.0,
             area_weight=2.0)
         assert fast.point.brick_words <= frugal.point.brick_words
         assert fast.point.read_delay <= frugal.point.read_delay
 
     def test_no_divisor_rejected(self, tech):
         with pytest.raises(ExplorationError):
-            optimize_brick_selection(tech, 100, 8,
-                                     brick_words_options=(16, 32))
+            _session(tech).optimize_brick_selection(
+                100, 8, brick_words_options=(16, 32))
 
 
 class TestChipGen:

@@ -1,0 +1,243 @@
+"""The SweepEngine facade, deprecation shims, serve progress and CLI.
+
+The engine's cached mode must be indistinguishable from the legacy
+``sweep_partitions`` path; the deprecated module-level trio must warn;
+the serve layer must surface shard progress in ``stats``; and the CLI
+must accept the scale flags.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.errors import ExplorationError
+from repro.explore import (
+    AUTO_SHARD_THRESHOLD,
+    SweepEngine,
+    execute_sweep_plan,
+    optimize_brick_selection,
+    plan_sweep,
+    sweep_partitions,
+)
+from repro.session import Session
+
+
+def _session(tech):
+    return Session.ensure(None, tech=tech)
+
+
+class TestDeprecatedShims:
+    def test_plan_sweep_warns(self, tech):
+        with pytest.warns(DeprecationWarning, match="plan_sweep"):
+            plan_sweep(tech)
+
+    def test_execute_sweep_plan_warns(self, tech):
+        with pytest.warns(DeprecationWarning, match="plan_sweep"):
+            plan = plan_sweep(tech)
+        with pytest.warns(DeprecationWarning,
+                          match="execute_sweep_plan"):
+            result = execute_sweep_plan(plan, session=_session(tech))
+        assert len(result.points) == 9
+
+    def test_sweep_partitions_warns_and_still_works(self, tech):
+        with pytest.warns(DeprecationWarning,
+                          match="sweep_partitions"):
+            result = sweep_partitions(tech)
+        assert len(result.points) == 9
+
+    def test_optimize_brick_selection_warns(self, tech):
+        with pytest.warns(DeprecationWarning,
+                          match="optimize_brick_selection"):
+            choice = optimize_brick_selection(tech, 128, 16)
+        assert choice.point.total_words == 128
+
+    def test_session_methods_do_not_warn(self, tech, recwarn):
+        session = _session(tech)
+        session.sweep_partitions()
+        session.optimize_brick_selection(128, 16)
+        assert not [w for w in recwarn
+                    if issubclass(w.category, DeprecationWarning)]
+
+
+class TestPlanModes:
+    def test_auto_small_is_cached(self, tech):
+        engine = _session(tech).sweep_engine()
+        assert engine.plan().mode == "cached"
+        assert engine.plan().n_shards == 1
+
+    def test_auto_large_is_sharded(self, tech):
+        engine = _session(tech).sweep_engine(
+            total_words_options=tuple(64 * k for k in range(1, 25)),
+            bits_options=tuple(range(2, 12)),
+            brick_words_options=(4, 8, 16, 32, 64),
+            shard_size=128)
+        plan = engine.plan()
+        assert plan.n_points > AUTO_SHARD_THRESHOLD
+        assert plan.mode == "sharded"
+        assert plan.n_shards > 1
+
+    def test_cached_multi_type_rejected(self, tech):
+        engine = _session(tech).sweep_engine(
+            memory_types=("8T", "6T"), mode="cached")
+        with pytest.raises(ExplorationError, match="single memory"):
+            engine.plan()
+
+    def test_bad_mode_rejected(self, tech):
+        with pytest.raises(ExplorationError, match="mode"):
+            _session(tech).sweep_engine(mode="turbo")
+
+    def test_bad_objective_rejected(self, tech):
+        with pytest.raises(ExplorationError, match="objective"):
+            _session(tech).sweep_engine(objectives=("speed",))
+
+    def test_fingerprint_stable_across_engines(self, tech):
+        a = _session(tech).sweep_engine().plan()
+        b = _session(tech).sweep_engine().plan()
+        assert a.fingerprint == b.fingerprint
+
+
+class TestCachedMode:
+    def test_matches_legacy_sweep(self, tech):
+        session = _session(tech)
+        legacy = session.sweep_partitions()
+        result = session.sweep_engine().run()
+        assert result.mode == "cached"
+        downgraded = result.to_sweep_result()
+        assert downgraded.points == legacy.points
+        assert not downgraded.failures
+
+    def test_progress_reports_single_shard(self, tech):
+        calls = []
+        _session(tech).sweep_engine().run(
+            progress=lambda done, total, shard:
+            calls.append((done, total)))
+        assert calls == [(1, 1)]
+
+    def test_iter_results_frontier_first_no_dupes(self, tech):
+        engine = _session(tech).sweep_engine()
+        engine.run()
+        streamed = list(engine.iter_results())
+        indices = [p.index for p in streamed]
+        assert len(indices) == len(set(indices))
+        front = [p.index for p in engine.frontier()]
+        assert indices[:len(front)] == front
+
+
+class TestShardedMode:
+    def _engine(self, tech, **kwargs):
+        return _session(tech).sweep_engine(
+            total_words_options=(64, 128, 256), bits_options=(8, 16),
+            brick_words_options=(16, 32, 64), mode="sharded",
+            shard_size=4, **kwargs)
+
+    def test_progress_counts_every_shard(self, tech):
+        calls = []
+        result = self._engine(tech).run(
+            progress=lambda done, total, shard:
+            calls.append((done, total)))
+        assert calls[-1] == (result.shards_total, result.shards_total)
+        assert [d for d, _ in calls] == \
+            list(range(1, result.shards_total + 1))
+
+    def test_iter_shards_streams_and_finalizes(self, tech):
+        engine = self._engine(tech)
+        shards = list(engine.iter_shards())
+        assert len(shards) == engine.plan().n_shards
+        assert engine.frontier()  # result is ready after the stream
+
+    def test_counters_and_spans(self, tech):
+        from repro.obs import MetricsRegistry, Tracer
+        session = Session.ensure(None, tech=tech)
+        session.metrics = MetricsRegistry()
+        session.tracer = Tracer()
+        session.sweep_engine(
+            total_words_options=(64, 128), bits_options=(8,),
+            brick_words_options=(16, 32), mode="sharded",
+            shard_size=2).run()
+        counters = session.metrics.counters
+        assert counters["explore.scale.shards_done"].value >= 1
+        assert counters["explore.sweep.points_evaluated"].value >= 1
+        kinds = {s.kind for s in session.tracer.spans}
+        assert "sweep" in kinds
+        assert "sweep_shard" in kinds
+
+
+class TestSessionFacade:
+    def test_sweep_engine_binds_session(self, tech):
+        session = _session(tech)
+        engine = session.sweep_engine()
+        assert isinstance(engine, SweepEngine)
+        assert engine.session is session
+
+
+class TestServeProgress:
+    def test_stats_reports_shard_progress(self, tech):
+        from tests.test_serve import SWEEP_PARAMS, ServerHarness
+        harness = ServerHarness()
+        try:
+            with harness.client() as c:
+                summary = c.sweep(**SWEEP_PARAMS)
+                stats = c.stats()
+            assert summary["mode"] == "cached"
+            assert summary["shards_done"] == summary["shards_total"]
+            assert summary["frontier_size"] >= 1
+            entry = stats["sweeps"][summary["fingerprint"]]
+            assert entry["done"] is True
+            assert entry["shards_done"] == entry["shards_total"]
+            assert entry["n_points"] == summary["n_points"]
+        finally:
+            harness.stop()
+
+    def test_sharded_sweep_over_the_wire(self, tech):
+        from tests.test_serve import ServerHarness
+        harness = ServerHarness()
+        try:
+            with harness.client() as c:
+                summary = c.sweep(total_words=[64, 128, 256],
+                                  bits=[8, 16],
+                                  brick_words=[16, 32, 64],
+                                  mode="sharded", shard_size=4)
+                stats = c.stats()
+            assert summary["mode"] == "sharded"
+            assert summary["shards_total"] > 1
+            assert summary["shards_done"] == summary["shards_total"]
+            fp = summary["fingerprint"]
+            assert stats["sweeps"][fp]["done"] is True
+        finally:
+            harness.stop()
+
+
+class TestCLI:
+    def test_scale_flags_parse(self):
+        args = build_parser().parse_args(
+            ["sweep", "--total-words", "64", "128", "--mode",
+             "sharded", "--shard-size", "4", "--top-k", "8",
+             "--refine", "1"])
+        assert args.total_words == [64, 128]
+        assert args.mode == "sharded"
+        assert args.shard_size == 4
+        assert args.top_k == 8
+        assert args.refine == 1
+
+    def test_default_sweep_unchanged(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.total_words == [128]
+        assert args.mode == "auto"
+        assert args.refine == 0
+
+    def test_sharded_sweep_command(self, capsys):
+        assert main(["sweep", "--total-words", "64", "128", "256",
+                     "--bits", "8", "16", "--brick-words", "16", "32",
+                     "64", "--mode", "sharded", "--shard-size",
+                     "4"]) == 0
+        out = capsys.readouterr()
+        assert "sharded sweep" in out.err
+        assert "pareto-optimal" in out.out
+
+    def test_client_sweep_scale_flags_parse(self):
+        args = build_parser().parse_args(
+            ["client", "--port", "1", "sweep", "--total-words",
+             "64", "128", "--mode", "sharded", "--shard-size", "4"])
+        assert args.total_words == [64, 128]
+        assert args.mode == "sharded"

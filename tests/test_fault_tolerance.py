@@ -204,17 +204,16 @@ class TestSweepKeepGoing:
                        cache=CharacterizationCache(cache_dir=None))
 
     def test_failed_point_skipped_and_recorded(self, monkeypatch):
-        from repro.explore import sweep_partitions
         from repro.perf import characterize
         _disable_batch_kernel(monkeypatch)
         monkeypatch.setattr(characterize, "_estimate_worker",
                             _estimate_worker_boom)
         sink = RecordingSink()
-        result = sweep_partitions(total_words_options=(64,),
-                                  bits_options=(8,),
-                                  brick_words_options=(16, 32, 64),
-                                  keep_going=True,
-                                  session=self._session(sink))
+        result = self._session(sink).sweep_partitions(
+            total_words_options=(64,),
+            bits_options=(8,),
+            brick_words_options=(16, 32, 64),
+            keep_going=True)
         assert len(result.points) == 2
         assert len(result.failures) == 1
         failed = result.failures[0]
@@ -225,19 +224,17 @@ class TestSweepKeepGoing:
         assert [f.domain for f in fault_events] == ["sweep"]
 
     def test_without_keep_going_raises(self, monkeypatch):
-        from repro.explore import sweep_partitions
         from repro.perf import characterize
         _disable_batch_kernel(monkeypatch)
         monkeypatch.setattr(characterize, "_estimate_worker",
                             _estimate_worker_boom)
         with pytest.raises(BrickError):
-            sweep_partitions(total_words_options=(64,),
-                             bits_options=(8,),
-                             brick_words_options=(16, 32, 64),
-                             session=self._session())
+            self._session().sweep_partitions(
+                total_words_options=(64,),
+                bits_options=(8,),
+                brick_words_options=(16, 32, 64))
 
     def test_all_points_failed_raises(self, monkeypatch):
-        from repro.explore import sweep_partitions
         from repro.perf import characterize
 
         def _always_boom(task):
@@ -247,11 +244,11 @@ class TestSweepKeepGoing:
         monkeypatch.setattr(characterize, "_estimate_worker",
                             _always_boom)
         with pytest.raises(ExplorationError, match="every sweep point"):
-            sweep_partitions(total_words_options=(64,),
-                             bits_options=(8,),
-                             brick_words_options=(16, 32),
-                             keep_going=True,
-                             session=self._session())
+            self._session().sweep_partitions(
+                total_words_options=(64,),
+                bits_options=(8,),
+                brick_words_options=(16, 32),
+                keep_going=True)
 
 
 class TestExitCodes:

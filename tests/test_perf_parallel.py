@@ -10,7 +10,6 @@ from hypothesis import strategies as st
 
 from repro.bricks import generate_brick_library, sram_brick
 from repro.errors import ExplorationError
-from repro.explore import optimize_brick_selection, sweep_partitions
 from repro.perf import (
     CharacterizationCache,
     characterize_cells,
@@ -18,11 +17,24 @@ from repro.perf import (
     parallel_map,
     resolve_jobs,
 )
+from repro.session import Session
 from repro.tech import cmos65
 
 
 def _sq(x):
     return x * x
+
+
+def sweep_partitions(tech, jobs=None, cache=None, **kwargs):
+    """Legacy-shaped helper over the supported session API."""
+    session = Session.ensure(None, tech=tech, jobs=jobs, cache=cache)
+    return session.sweep_partitions(**kwargs)
+
+
+def optimize_brick_selection(tech, total_words, bits, jobs=None,
+                             cache=None, **kwargs):
+    session = Session.ensure(None, tech=tech, jobs=jobs, cache=cache)
+    return session.optimize_brick_selection(total_words, bits, **kwargs)
 
 
 class TestParallelMap:
