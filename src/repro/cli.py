@@ -231,6 +231,37 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_signoff(args) -> int:
+    """Monte Carlo statistical signoff: PVT variation x defect yield.
+
+    The rendered report is deterministic and goes to stdout (so two
+    runs diff clean at any ``--jobs`` or kill/resume history); wall
+    clock and resume counts go to stderr.
+    """
+    from .serve.handlers import signoff_report_data
+    from .signoff import SignoffEngine
+    session = _session(args)
+    engine = SignoffEngine(
+        session, memory_type=args.type, words=args.words,
+        bits=args.bits, stack=args.stack, n_samples=args.samples,
+        chunk_size=args.chunk_size, ci_target=args.ci_target,
+        corners=tuple(args.corners))
+    report = engine.run(keep_going=args.keep_going,
+                        resume=args.resume)
+    print(f"signoff: {report.samples_used}/{report.n_samples} "
+          f"samples in {report.chunks_used}/{report.chunks_total} "
+          f"chunks ({report.resumed_chunks} resumed) in "
+          f"{report.wall_clock_s * 1e3:.0f} ms", file=sys.stderr)
+    data = signoff_report_data(report)
+    print(data["render"])
+    if args.json_out:
+        del data["render"]
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(data, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json_out}", file=sys.stderr)
+    return 0
+
+
 def cmd_spgemm(args) -> int:
     # The SpGEMM chips are fixed cycle-level silicon models: the session
     # contributes nothing (no technology, no characterization, no flow
@@ -342,6 +373,15 @@ def cmd_client(args) -> int:
                 "spare_rows": args.spare_rows,
                 "spare_cols": args.spare_cols, "ecc": args.ecc,
                 "seed": args.seed})
+            print(result["data"]["render"])
+        elif cmd == "signoff":
+            result = client.signoff(
+                type=args.type, words=args.words, bits=args.bits,
+                stack=args.stack, samples=args.samples,
+                chunk_size=args.chunk_size,
+                ci_target=args.ci_target,
+                corners=list(args.corners),
+                keep_going=args.keep_going, seed=args.seed)
             print(result["data"]["render"])
         elif cmd == "fetch":
             print(json.dumps(client.fetch(args.artifact), indent=2,
@@ -522,6 +562,43 @@ def build_parser() -> argparse.ArgumentParser:
                         "frontier after the sweep (default: 0)")
     p.set_defaults(func=cmd_sweep)
 
+    p = sub.add_parser("signoff", parents=[obs],
+                       help="Monte Carlo statistical signoff "
+                            "(PVT variation x defect yield)")
+    p.add_argument("--type", default="8T",
+                   choices=["6T", "8T", "CAM", "EDRAM", "DP"])
+    p.add_argument("--words", type=int, default=16)
+    p.add_argument("--bits", type=int, default=10)
+    p.add_argument("--stack", type=int, default=1)
+    p.add_argument("--samples", type=int, default=2000,
+                   help="Monte Carlo population / hard sample cap "
+                        "(default: 2000)")
+    p.add_argument("--chunk-size", type=int, default=256,
+                   help="samples per checkpointed chunk "
+                        "(default: 256)")
+    p.add_argument("--ci-target", type=float, default=None,
+                   help="early-stop when the relative 95%% CI "
+                        "half-width of the lead metric falls below "
+                        "this (e.g. 0.01; default: run to the cap)")
+    p.add_argument("--corners", nargs="+",
+                   default=["nominal", "best", "worst"],
+                   choices=["nominal", "best", "worst"],
+                   help="corner grid to cross with the Monte Carlo "
+                        "(default: nominal best worst)")
+    p.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                   help="session master seed driving the sample "
+                        f"streams (default: {DEFAULT_SEED})")
+    p.add_argument("--resume", dest="resume", action="store_true",
+                   default=True,
+                   help="reuse chunk checkpoints from the cache "
+                        "(default)")
+    p.add_argument("--no-resume", dest="resume",
+                   action="store_false",
+                   help="ignore existing chunk checkpoints")
+    p.add_argument("--json-out", default=None, metavar="FILE",
+                   help="also write the report payload as JSON")
+    p.set_defaults(func=cmd_signoff)
+
     p = sub.add_parser("serve", parents=[obs],
                        help="run the brick-library daemon "
                             "(characterization-as-a-service)")
@@ -579,6 +656,21 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--bits", type=int, default=10)
     c.add_argument("--stack", type=int, default=1)
     _yield_args(c, with_partitions=True)
+    c = csub.add_parser("signoff",
+                        help="served Monte Carlo signoff "
+                             "(stdout identical to 'repro signoff')")
+    c.add_argument("--type", default="8T",
+                   choices=["6T", "8T", "CAM", "EDRAM", "DP"])
+    c.add_argument("--words", type=int, default=16)
+    c.add_argument("--bits", type=int, default=10)
+    c.add_argument("--stack", type=int, default=1)
+    c.add_argument("--samples", type=int, default=2000)
+    c.add_argument("--chunk-size", type=int, default=256)
+    c.add_argument("--ci-target", type=float, default=None)
+    c.add_argument("--corners", nargs="+",
+                   default=["nominal", "best", "worst"],
+                   choices=["nominal", "best", "worst"])
+    c.add_argument("--seed", type=int, default=DEFAULT_SEED)
     c = csub.add_parser("fetch",
                         help="fetch a stored artifact by id as JSON")
     c.add_argument("artifact", help="artifact id from a reply")

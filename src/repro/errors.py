@@ -110,6 +110,11 @@ class ServeError(ReproError):
     after retries, server-side internal error relayed to the client)."""
 
 
+class SignoffError(ReproError):
+    """Statistical signoff failure (bad plan parameters, every sample
+    chunk lost, an incomplete chunk prefix at reduction time)."""
+
+
 #: Domain exit codes, one per concrete error class.  Codes are stable
 #: API: scripts branch on them, so entries are appended, never renumbered.
 #: 1 stays the generic ``ReproError`` catch-all; 2 is argparse's usage
@@ -137,6 +142,7 @@ EXIT_CODES: Tuple[Tuple[Type[ReproError], int], ...] = (
     (ExecutorError, 29),
     (ProtocolError, 30),
     (ServeError, 31),
+    (SignoffError, 32),
 )
 
 

@@ -321,18 +321,36 @@ class CharacterizationCache:
 
     # --- public API -------------------------------------------------------
 
-    def get(self, key: str) -> Tuple[bool, Any]:
-        """Return ``(found, value)`` without computing anything."""
+    def get(self, key: str, expect: Any = None) -> Tuple[bool, Any]:
+        """Return ``(found, value)`` without computing anything.
+
+        ``expect`` (a type or tuple of types) hardens checkpoint
+        reads: a hit whose value is not an instance is treated exactly
+        like corruption — the disk entry is quarantined, the memory
+        entry evicted, and the lookup is a miss — so a resume over a
+        poisoned checkpoint recomputes the chunk instead of crashing
+        (or worse, silently reducing garbage).
+        """
         if not self.enabled:
             self.stats.misses += 1
             return False, None
         with self._lock:
             if key in self._memory:
-                self._memory.move_to_end(key)
-                self.stats.memory_hits += 1
-                return True, self._memory[key]
+                value = self._memory[key]
+                if expect is None or isinstance(value, expect):
+                    self._memory.move_to_end(key)
+                    self.stats.memory_hits += 1
+                    return True, value
+                del self._memory[key]
         found, value = self._disk_read(key)
         if found:
+            if expect is not None and not isinstance(value, expect):
+                self._quarantine(
+                    key, self._entry_path(key),
+                    f"unexpected payload type "
+                    f"{type(value).__name__}")
+                self.stats.misses += 1
+                return False, None
             self.stats.disk_hits += 1
             self._memory_put(key, value)
             return True, value

@@ -7,6 +7,13 @@ id, retries ``busy`` rejections honoring the server's
 :class:`~repro.errors.ServeError` for every other error reply —
 carrying the wire error code as ``exc.code`` so callers can branch.
 
+Transport failures are retried too: a refused connect backs off
+exponentially up to ``connect_retries`` times, and a connection reset
+mid-request reconnects and resends once — every request type is
+idempotent (handlers are pure functions of the params over a
+content-addressed store), so a long-running signoff client survives a
+server restart instead of dying on the first ``ECONNRESET``.
+
 The client renders nothing; ``repro client ...`` feeds the fetched
 data dicts through the same renderers the local CLI uses, which is
 what makes the two paths byte-identical.
@@ -25,6 +32,12 @@ from .protocol import MAX_FRAME_BYTES, PROTOCOL_VERSION, decode_frame, \
 #: Default bound on ``busy`` retry attempts before giving up.
 DEFAULT_BUSY_RETRIES = 20
 
+#: Default bound on connect attempts (1 = no retry).
+DEFAULT_CONNECT_RETRIES = 4
+
+#: First connect-retry backoff; doubles per attempt.
+CONNECT_BACKOFF_S = 0.1
+
 
 class ServeClient:
     """One connection to a :class:`~repro.serve.server.BrickServer`.
@@ -35,11 +48,15 @@ class ServeClient:
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
                  timeout_s: float = 120.0,
-                 busy_retries: int = DEFAULT_BUSY_RETRIES) -> None:
+                 busy_retries: int = DEFAULT_BUSY_RETRIES,
+                 connect_retries: int = DEFAULT_CONNECT_RETRIES,
+                 connect_backoff_s: float = CONNECT_BACKOFF_S) -> None:
         self.host = host
         self.port = port
         self.timeout_s = timeout_s
         self.busy_retries = busy_retries
+        self.connect_retries = max(1, connect_retries)
+        self.connect_backoff_s = connect_backoff_s
         self._sock: Optional[socket.socket] = None
         self._rfile = None
         self._counter = 0
@@ -47,16 +64,33 @@ class ServeClient:
     # --- connection -------------------------------------------------------
 
     def connect(self) -> "ServeClient":
-        if self._sock is None:
+        """Open the connection (retrying with exponential backoff).
+
+        A server that is restarting refuses connections for a moment;
+        up to ``connect_retries`` attempts are made, sleeping
+        ``connect_backoff_s * 2**attempt`` between them, before the
+        last ``OSError`` surfaces as a :class:`ServeError`.
+        """
+        if self._sock is not None:
+            return self
+        backoff = self.connect_backoff_s
+        for attempt in range(self.connect_retries):
             try:
                 self._sock = socket.create_connection(
                     (self.host, self.port), timeout=self.timeout_s)
             except OSError as exc:
-                raise ServeError(
-                    f"cannot connect to {self.host}:{self.port}: "
-                    f"{exc}") from exc
-            self._rfile = self._sock.makefile("rb")
-        return self
+                if attempt + 1 >= self.connect_retries:
+                    raise ServeError(
+                        f"cannot connect to {self.host}:{self.port} "
+                        f"after {self.connect_retries} attempt(s): "
+                        f"{exc}") from exc
+                time.sleep(backoff)
+                backoff *= 2.0
+            else:
+                self._rfile = self._sock.makefile("rb")
+                return self
+        raise ServeError(  # pragma: no cover - loop always returns
+            f"cannot connect to {self.host}:{self.port}")
 
     def close(self) -> None:
         if self._rfile is not None:
@@ -78,17 +112,36 @@ class ServeClient:
         self._counter += 1
         return f"c{self._counter}"
 
-    def _roundtrip(self, frame_out: Dict[str, Any]) -> Dict[str, Any]:
+    def _send_and_read(self, frame_out: Dict[str, Any]) -> bytes:
         self.connect()
-        try:
-            self._sock.sendall(encode_frame(frame_out))
-            line = self._rfile.readline(MAX_FRAME_BYTES + 2)
-        except OSError as exc:
-            raise ServeError(f"connection to {self.host}:"
-                             f"{self.port} failed: {exc}") from exc
-        if not line:
-            raise ServeError("server closed the connection")
-        return decode_frame(line)
+        self._sock.sendall(encode_frame(frame_out))
+        return self._rfile.readline(MAX_FRAME_BYTES + 2)
+
+    def _roundtrip(self, frame_out: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one frame, read one reply; reconnect-and-resend once.
+
+        A reset or half-closed socket (``OSError`` or an empty read)
+        drops the dead connection and retries the request on a fresh
+        one — :meth:`connect` supplies the backoff.  Only one resend:
+        a second failure means the server is really gone.
+        """
+        last_exc: Optional[Exception] = None
+        for attempt in range(2):
+            try:
+                line = self._send_and_read(frame_out)
+            except OSError as exc:
+                last_exc = exc
+                self.close()
+                continue
+            if not line:
+                last_exc = ServeError(
+                    "server closed the connection")
+                self.close()
+                continue
+            return decode_frame(line)
+        raise ServeError(
+            f"connection to {self.host}:{self.port} failed after "
+            f"resend: {last_exc}") from last_exc
 
     def request(self, rtype: str,
                 params: Optional[Dict[str, Any]] = None
@@ -157,6 +210,10 @@ class ServeClient:
 
     def yield_analysis(self, **params: Any) -> Dict[str, Any]:
         return self.request("yield", params)
+
+    def signoff(self, **params: Any) -> Dict[str, Any]:
+        """Run (or join) a served Monte-Carlo statistical signoff."""
+        return self.request("signoff", params)
 
     def shutdown(self) -> Dict[str, Any]:
         """Ask the daemon to drain and exit."""

@@ -190,6 +190,57 @@ def _sweep_engine(session: Session,
         mode=mode)
 
 
+def _signoff_engine(session: Session, params: Dict[str, Any]):
+    """Build the :class:`SignoffEngine` one signoff request describes.
+
+    Cheap (no pricing): :func:`coalesce_key` uses it just for the plan
+    fingerprint; :func:`handle_signoff` for the actual run.  An
+    explicit ``seed`` param derives a child session, so served runs
+    reproduce any local ``--seed``.
+    """
+    from ..signoff.engine import (
+        DEFAULT_CHUNK,
+        DEFAULT_CORNERS,
+        DEFAULT_SAMPLES,
+        SignoffEngine,
+    )
+    seed = params.get("seed")
+    if seed is not None:
+        if isinstance(seed, bool) or not isinstance(seed, int):
+            raise ServeError(f"param 'seed' must be an integer, "
+                             f"got {seed!r}")
+        session = session.derive(seed=seed)
+    ci_target = params.get("ci_target")
+    if ci_target is not None and (isinstance(ci_target, bool)
+                                  or not isinstance(ci_target,
+                                                    (int, float))):
+        raise ServeError(f"param 'ci_target' must be a number, "
+                         f"got {ci_target!r}")
+    corners = params.get("corners", list(DEFAULT_CORNERS))
+    if (not isinstance(corners, list) or not corners
+            or any(not isinstance(c, str) for c in corners)):
+        raise ServeError(f"param 'corners' must be a non-empty list "
+                         f"of corner names, got {corners!r}")
+    return SignoffEngine(
+        session,
+        memory_type=_require_type(params),
+        words=_require_int(params, "words", 16),
+        bits=_require_int(params, "bits", 10),
+        stack=_require_int(params, "stack", 1),
+        n_samples=_require_int(params, "samples", DEFAULT_SAMPLES),
+        chunk_size=_require_int(params, "chunk_size", DEFAULT_CHUNK),
+        ci_target=(float(ci_target) if ci_target is not None
+                   else None),
+        corners=tuple(corners))
+
+
+def signoff_report_data(report) -> Dict[str, Any]:
+    """The shared signoff data dict (CLI and serve render the same)."""
+    payload = report.as_dict()
+    payload["render"] = report.render()
+    return payload
+
+
 def _require_type(params: Dict[str, Any], name: str = "type",
                   default: str = "8T") -> str:
     value = params.get(name, default)
@@ -332,7 +383,7 @@ def render_sweep_table(data: Dict[str, Any]) -> str:
 
 #: Request types whose computation is shared between identical
 #: concurrent requests.
-COALESCED_TYPES = ("characterize", "sweep", "yield")
+COALESCED_TYPES = ("characterize", "sweep", "yield", "signoff")
 
 
 def coalesce_key(request: Request, session: Session) -> Optional[str]:
@@ -355,6 +406,9 @@ def coalesce_key(request: Request, session: Session) -> Optional[str]:
         stack = _require_int(params, "stack", 1)
         return "brick:" + cache_key("brickreport", spec, session.tech,
                                     stack)
+    if request.type == "signoff":
+        plan = _signoff_engine(session, params).plan()
+        return f"signoff:{plan.fingerprint}"
     if request.type == "yield":
         spec = BrickSpec(_require_type(params),
                          _require_int(params, "words", 16),
@@ -475,6 +529,30 @@ def handle_yield(ctx: ServeContext, request: Request) -> Dict[str, Any]:
             "data": data}
 
 
+def handle_signoff(ctx: ServeContext,
+                   request: Request) -> Dict[str, Any]:
+    """Monte-Carlo statistical signoff of one brick.
+
+    Rides the coalescing path under the plan fingerprint (two clients
+    asking for the same signoff share one run) and resumes from any
+    chunk checkpoints already in the warm session cache.
+    """
+    params = request.params
+    engine = _signoff_engine(ctx.session, params)
+    plan = engine.plan()
+    report = engine.run(
+        keep_going=bool(params.get("keep_going", False)))
+    data = signoff_report_data(report)
+    artifact = ctx.store.put("signoff", plan.fingerprint, data)
+    return {"artifact": artifact, "fingerprint": plan.fingerprint,
+            "samples_used": report.samples_used,
+            "early_stopped": report.early_stopped,
+            "resumed_chunks": report.resumed_chunks,
+            "raw_yield": report.raw_yield["rate"],
+            "repaired_yield": report.repaired_yield["rate"],
+            "data": data}
+
+
 def handle_report(ctx: ServeContext, request: Request) -> Dict[str, Any]:
     """The daemon's run report: its accumulated trace spans plus the
     request-tagged metrics snapshot, rendered by the same
@@ -519,6 +597,7 @@ HANDLERS = {
     "characterize": handle_characterize,
     "sweep": handle_sweep,
     "yield": handle_yield,
+    "signoff": handle_signoff,
     "report": handle_report,
     "stats": handle_stats,
     "fetch": handle_fetch,

@@ -39,8 +39,8 @@ MAX_FRAME_BYTES = 4 * 1024 * 1024
 #: Every request type the daemon understands.  ``shutdown`` is handled
 #: by the server loop itself (graceful drain); the rest dispatch to
 #: :mod:`repro.serve.handlers`.
-REQUEST_TYPES = ("ping", "characterize", "sweep", "yield", "report",
-                 "stats", "fetch", "shutdown")
+REQUEST_TYPES = ("ping", "characterize", "sweep", "yield", "signoff",
+                 "report", "stats", "fetch", "shutdown")
 
 #: Error codes a response may carry.
 ERROR_CODES = ("bad_request", "unsupported_version", "unknown_type",

@@ -365,3 +365,9 @@ class Session:
         """A :class:`repro.explore.SweepEngine` bound to this session."""
         from .explore.engine import SweepEngine
         return SweepEngine(session=self, **kwargs)
+
+    def signoff_engine(self, **kwargs):
+        """A :class:`repro.signoff.SignoffEngine` bound to this
+        session."""
+        from .signoff.engine import SignoffEngine
+        return SignoffEngine(session=self, **kwargs)

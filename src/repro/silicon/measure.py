@@ -89,7 +89,8 @@ def measure_chips(configs: Sequence[str],
                   jobs: Optional[int] = None,
                   cache=None,
                   defect_model=None,
-                  session: Optional[Session] = None
+                  session: Optional[Session] = None,
+                  seed_stream: bool = False
                   ) -> Dict[str, ConfigMeasurements]:
     """Emulate multi-chip measurement of the test-chip configurations.
 
@@ -109,11 +110,21 @@ def measure_chips(configs: Sequence[str],
     (correct: their bricks really differ) while configurations sharing
     a brick point *within* one die reuse it.  ``seed`` is the variation
     sampling seed, distinct from the session's flow master seed.
+
+    ``seed_stream=True`` switches die sampling to the counter-based
+    signoff streams salted from the *session* master seed
+    (:meth:`VariationModel.sample_stream`), so the population is a
+    pure function of ``session.seed`` per die index — chunkable and
+    order-independent.  The default stays the legacy sequential
+    sampler, whose seed-65 output existing goldens pin.
     """
     session = Session.ensure(session, tech=tech, jobs=jobs, cache=cache)
     if variation is None:
         variation = VariationModel()
-    samples = variation.sample(n_chips, seed=seed)
+    if seed_stream:
+        samples = variation.sample_stream(n_chips, seed=session.seed)
+    else:
+        samples = variation.sample(n_chips, seed=seed)
     results: Dict[str, ConfigMeasurements] = {}
     for config in configs:
         chips: List[ChipMeasurement] = []

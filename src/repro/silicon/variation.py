@@ -83,3 +83,36 @@ class VariationModel:
                 measurement_noise=noise,
             ))
         return chips
+
+    def sample_stream(self, n_chips: int, *, seed: int,
+                      salt: str = "silicon:variation",
+                      start: int = 0) -> List[ChipSample]:
+        """Draw dies from the counter-based signoff streams.
+
+        Unlike :meth:`sample` (a sequential ``random.Random`` whose
+        state threads through every preceding die), each die here is a
+        pure function of ``(seed, salt, chip index)``: populations can
+        be drawn in chunks, in parallel, or extended (``start``) and
+        every die keeps its identity.  ``seed`` is the session master
+        seed — pass ``session.seed`` — and the salting follows the
+        :meth:`Session.rng <repro.session.Session.rng>` convention.
+
+        The legacy :meth:`sample` is kept verbatim (and golden-pinned
+        in the tests) because Fig. 4b measurement outputs are baked
+        into existing goldens.
+        """
+        if n_chips < 1:
+            raise SiliconError("need at least one chip")
+        # Deferred import: repro.signoff imports this module.
+        from ..signoff.rng import stream_key
+        from ..signoff.sampling import pvt_columns
+        cols = pvt_columns(self, stream_key(seed, salt), start,
+                           start + n_chips)
+        return [ChipSample(
+            chip_id=start + i,
+            r_scale=float(cols["r_scale"][i]),
+            c_scale=float(cols["c_scale"][i]),
+            vdd_scale=float(cols["vdd_scale"][i]),
+            leak_scale=float(cols["leak_scale"][i]),
+            measurement_noise=float(cols["noise"][i]),
+        ) for i in range(n_chips)]

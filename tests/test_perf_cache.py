@@ -252,6 +252,62 @@ class TestQuarantine:
         assert len(quarantined) == 3  # all three kept as evidence
 
 
+class TestTypedGet:
+    """``get(key, expect=...)``: checkpoint reads reject payloads of a
+    foreign type (a half-written or cross-wired entry) instead of
+    handing them to a consumer that would crash on them."""
+
+    def test_matching_type_is_a_hit(self, tmp_path):
+        cache = CharacterizationCache(cache_dir=str(tmp_path))
+        cache.put("k", (1, 2, 3))
+        assert cache.get("k", expect=tuple) == (True, (1, 2, 3))
+        assert cache.get("k", expect=(list, tuple)) == \
+            (True, (1, 2, 3))
+
+    def test_untyped_get_unchanged(self, tmp_path):
+        cache = CharacterizationCache(cache_dir=str(tmp_path))
+        cache.put("k", "anything")
+        assert cache.get("k") == (True, "anything")
+
+    def test_wrong_type_on_disk_quarantined(self, tmp_path):
+        cache = CharacterizationCache(cache_dir=str(tmp_path))
+        cache.put("k", "a string, not a dict")
+        events = []
+        fresh = CharacterizationCache(
+            cache_dir=str(tmp_path),
+            on_quarantine=lambda key, dest, reason:
+            events.append((key, reason)))
+        assert fresh.get("k", expect=dict) == (False, None)
+        assert fresh.stats.quarantined == 1
+        (key, reason), = events
+        assert key == "k"
+        assert "unexpected payload type str" in reason
+        # The entry is gone; the next put/get cycle works cleanly.
+        fresh.put("k", {"fresh": True})
+        assert fresh.get("k", expect=dict) == (True, {"fresh": True})
+
+    def test_wrong_type_in_memory_evicted(self):
+        cache = CharacterizationCache()  # memory-only
+        cache.put("k", "wrong")
+        assert cache.get("k", expect=dict) == (False, None)
+        # Evicted outright, not just skipped: an untyped read must not
+        # resurrect the poisoned value either.
+        assert cache.get("k") == (False, None)
+
+    def test_truncated_checkpoint_is_typed_miss(self, tmp_path):
+        """A reader killed mid-write leaves a truncated pickle; the
+        typed read quarantines it and reports a clean miss."""
+        cache = CharacterizationCache(cache_dir=str(tmp_path))
+        cache.put("ckpt", {"chunk": 7, "data": list(range(100))})
+        entry = tmp_path / f"v{KEY_SCHEMA_VERSION}" / "ckpt.pkl"
+        entry.write_bytes(entry.read_bytes()[:10])
+        fresh = CharacterizationCache(cache_dir=str(tmp_path))
+        assert fresh.get("ckpt", expect=dict) == (False, None)
+        assert fresh.stats.quarantined == 1
+        assert not entry.exists()
+        assert list((tmp_path / "quarantine").iterdir())
+
+
 class TestCachedArtifacts:
     def test_cached_compile_identical(self, tech):
         cache = CharacterizationCache()
