@@ -1,0 +1,119 @@
+"""Benchmark: the observability plane must be (nearly) free.
+
+Tracing and metrics ride inside every hot path — sweep points, cache
+probes, parallel task groups — so their cost is paid per *operation*,
+not per run.  This benchmark prices the same warm sweep kernel twice
+on one shared warm cache:
+
+* **off** — a session with no tracer and no metrics registry (every
+  ``maybe_span`` short-circuits);
+* **on** — a session with both attached, spans recorded for every
+  stage/point and counters/histograms bumped throughout.
+
+Emits ``BENCH_obs_overhead.json`` and asserts the instrumented path
+costs at most :data:`OVERHEAD_CEILING` over the bare one — the floor
+that keeps "always-on telemetry" an honest default for the serve
+daemon.  Micro-costs (one span open/close, one telemetry record) are
+reported alongside for the trajectory.
+"""
+
+import time
+
+from bench_util import emit_bench_json, print_table
+from repro.explore import SweepEngine
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import Telemetry
+from repro.obs.trace import Tracer
+from repro.perf.cache import CharacterizationCache
+from repro.session import Session
+from repro.tech import cmos65
+
+#: Max fractional slowdown tracing+metrics may add to a warm sweep.
+OVERHEAD_CEILING = 0.05
+
+#: A sharded sweep lattice: pricing is vectorized per shard, so spans
+#: are per-shard/stage (the production granularity), not per point.
+SWEEP_KWARGS = dict(total_words_options=tuple(2 ** i
+                                              for i in range(7, 15)),
+                    bits_options=tuple(range(4, 36, 2)),
+                    brick_words_options=(8, 16, 32, 64, 128, 256),
+                    mode="sharded", shard_size=2048)
+
+ROUNDS = 12
+
+
+def _span_cost_ns(n=20_000):
+    tracer = Tracer()
+    start = time.perf_counter()
+    for i in range(n):
+        span = tracer.open("point", kind="sweep_point", index=i)
+        tracer.close(span)
+    return (time.perf_counter() - start) / n * 1e9
+
+
+def _telemetry_record_cost_ns(n=20_000):
+    tele = Telemetry()
+    start = time.perf_counter()
+    for i in range(n):
+        tele.record("sweep", (i % 97 + 1) * 1e-5)
+    return (time.perf_counter() - start) / n * 1e9
+
+
+def test_obs_overhead_json(benchmark):
+    cache = CharacterizationCache()
+    bare = Session(cmos65(), jobs=1, cache=cache)
+    traced = Session(cmos65(), jobs=1, cache=cache,
+                     tracer=Tracer(), metrics=MetricsRegistry())
+
+    def kernel(session):
+        # resume=False re-prices every shard from the warm estimate
+        # cache — real vectorized work per run, not a checkpoint load.
+        return SweepEngine(session, **SWEEP_KWARGS).run(resume=False)
+
+    # One cold pass fills the shared characterization cache; both
+    # timed paths then pay identical warm costs and differ only in
+    # the instrumentation.
+    result = kernel(bare)
+    kernel(traced)
+
+    def measure():
+        # Interleaved best-of: both paths sample the same machine
+        # weather, so the ratio is robust to background drift.
+        off_s = on_s = float("inf")
+        for _ in range(ROUNDS):
+            start = time.perf_counter()
+            kernel(bare)
+            off_s = min(off_s, time.perf_counter() - start)
+            start = time.perf_counter()
+            kernel(traced)
+            on_s = min(on_s, time.perf_counter() - start)
+        return off_s, on_s
+
+    off_s, on_s = benchmark.pedantic(measure, rounds=1, iterations=1)
+    overhead = on_s / off_s - 1.0
+    span_ns = _span_cost_ns()
+    record_ns = _telemetry_record_cost_ns()
+
+    print_table(
+        "Observability overhead — warm sweep, tracing+metrics on/off",
+        ("path", "best wall", "overhead"),
+        [("off (bare session)", f"{off_s * 1e3:.2f}ms", "-"),
+         ("on (tracer+metrics)", f"{on_s * 1e3:.2f}ms",
+          f"{overhead * 100:+.1f}%"),
+         ("one span open+close", f"{span_ns:.0f}ns", "-"),
+         ("one telemetry record", f"{record_ns:.0f}ns", "-")])
+
+    emit_bench_json("obs_overhead", {
+        "sweep_points": result.n_priced,
+        "sweep_shards": result.shards_total,
+        "sweep_warm_off_s": off_s,
+        "sweep_warm_on_s": on_s,
+        "overhead_fraction": overhead,
+        "overhead_ceiling": OVERHEAD_CEILING,
+        "span_open_close_ns": span_ns,
+        "telemetry_record_ns": record_ns,
+        "spans_recorded": len(traced.tracer.spans),
+    })
+    assert overhead <= OVERHEAD_CEILING, (
+        f"tracing+metrics cost {overhead * 100:.1f}% on the warm "
+        f"sweep (ceiling {OVERHEAD_CEILING * 100:.0f}%)")

@@ -32,7 +32,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import time
 from typing import Optional, Sequence
 
 from .bricks import (
@@ -47,12 +49,17 @@ from .explore import SweepEngine
 from .liberty import write_liberty
 from .obs.export import (
     read_trace_jsonl,
+    stitch_traces,
+    stitched_chrome_trace,
+    stitched_lines,
     strip_timing,
+    trace_source,
     write_chrome_trace,
     write_trace_jsonl,
 )
 from .obs.metrics import MetricsRegistry, collect_snapshot, render_snapshot
-from .obs.report import render_report
+from .obs.report import filter_request_records, render_report
+from .obs.telemetry import OpsLog, render_dashboard, render_prometheus
 from .obs.trace import Tracer, maybe_span
 from .perf import (
     ExecutorPolicy,
@@ -318,9 +325,13 @@ def cmd_serve(args) -> int:
     session = _session(args)
     if session.tracer is None:
         # The daemon always traces: its ``report`` request renders the
-        # accumulated spans, batch-CLI style.
-        session.tracer = Tracer()
+        # accumulated spans, batch-CLI style.  The "server" source tags
+        # every span record so a saved daemon trace stitches against
+        # client traces without the operator naming sides by hand.
+        session.tracer = Tracer(source="server")
         session.tracer.sink = session.sink
+    ops_log = (OpsLog(args.ops_log, max_bytes=args.ops_log_max_bytes)
+               if args.ops_log else None)
 
     def ready(server) -> None:
         # Machine-readable announce line (scripts parse the port when
@@ -329,7 +340,8 @@ def cmd_serve(args) -> int:
 
     with session:
         serve_forever(session, host=args.host, port=args.port,
-                      max_inflight=args.max_inflight, ready=ready)
+                      max_inflight=args.max_inflight, ready=ready,
+                      ops_log=ops_log)
     print("server drained", file=sys.stderr)
     return 0
 
@@ -340,7 +352,8 @@ def cmd_client(args) -> int:
     from .serve import ServeClient
     from .serve.handlers import render_brick_report
     with ServeClient(host=args.host, port=args.port,
-                     timeout_s=args.timeout) as client:
+                     timeout_s=args.timeout,
+                     tracer=getattr(args, "_tracer", None)) as client:
         cmd = args.client_command
         if cmd == "ping":
             result = client.ping()
@@ -349,6 +362,12 @@ def cmd_client(args) -> int:
                   f"protocol v{result['protocol']})")
         elif cmd == "stats":
             print(json.dumps(client.stats(), indent=2, sort_keys=True))
+        elif cmd == "telemetry":
+            reply = client.telemetry()
+            if args.prom:
+                print(render_prometheus(reply), end="")
+            else:
+                print(json.dumps(reply, indent=2, sort_keys=True))
         elif cmd == "report":
             print(client.report()["render"])
         elif cmd == "brick":
@@ -393,9 +412,76 @@ def cmd_client(args) -> int:
     return 0
 
 
+def cmd_top(args) -> int:
+    """Poll a daemon's ``telemetry`` verb and render the refreshing
+    one-screen dashboard (request rates, latency percentiles, cache and
+    coalesce hit ratios, active work)."""
+    from .serve import ServeClient
+    with ServeClient(host=args.host, port=args.port,
+                     timeout_s=args.timeout) as client:
+        prev = None
+        iteration = 0
+        try:
+            while True:
+                reply = client.telemetry()
+                screen = render_dashboard(reply, prev=prev,
+                                          interval_s=args.interval)
+                if not args.no_clear:
+                    # ANSI clear + home, like top(1); --no-clear keeps
+                    # every frame (tests, CI logs, dumb terminals).
+                    print("\x1b[2J\x1b[H", end="")
+                print(screen, flush=True)
+                prev = reply
+                iteration += 1
+                if args.iterations and iteration >= args.iterations:
+                    break
+                time.sleep(args.interval)
+        except KeyboardInterrupt:
+            pass
+    return 0
+
+
+def cmd_stitch(args) -> int:
+    """Merge per-process traces (client/server/...) into one globally
+    referenced trace; optionally emit the multi-process Chrome view."""
+    traces = []
+    seen = set()
+    for path in args.traces:
+        records = read_trace_jsonl(path)
+        source = trace_source(records)
+        if source is None:
+            # No trace_meta header (pre-stitching trace or hand-made
+            # file): fall back to the file name as the source label.
+            source = os.path.splitext(os.path.basename(path))[0]
+        if source in seen:
+            raise ReproError(
+                f"duplicate trace source {source!r} ({path}): span "
+                f"references would collide; rename one file")
+        seen.add(source)
+        traces.append((source, records))
+    stitched = stitch_traces(traces)
+    lines = stitched_lines(stitched, strip=args.strip_timing)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + ("\n" if lines else ""))
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        for line in lines:
+            print(line)
+    if args.chrome:
+        with open(args.chrome, "w", encoding="utf-8") as handle:
+            json.dump(stitched_chrome_trace(stitched), handle,
+                      indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.chrome}", file=sys.stderr)
+    return 0
+
+
 def cmd_report(args) -> int:
     """Render a saved JSONL trace (table, Chrome trace, or canonical)."""
     records = read_trace_jsonl(args.trace)
+    if getattr(args, "request", None):
+        records = filter_request_records(records, args.request)
     if args.chrome:
         write_chrome_trace(records, args.chrome)
         print(f"wrote {args.chrome}")
@@ -611,9 +697,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-connection concurrent request limit; "
                         "excess requests get a structured busy reply "
                         "(default: 8)")
+    p.add_argument("--ops-log", default=None, metavar="FILE",
+                   help="append one JSONL record per served request "
+                        "here, rotating by size (bounded disk)")
+    p.add_argument("--ops-log-max-bytes", type=int, default=1_000_000,
+                   help="rotate the ops log past this size "
+                        "(default: 1000000)")
     p.set_defaults(func=cmd_serve)
 
-    p = sub.add_parser("client",
+    p = sub.add_parser("client", parents=[obs],
                        help="send one request to a running daemon")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, required=True,
@@ -625,6 +717,11 @@ def build_parser() -> argparse.ArgumentParser:
     csub.add_parser("stats",
                     help="metrics snapshot + store/coalesce counters "
                          "+ recent per-request log")
+    c = csub.add_parser("telemetry",
+                        help="live latency percentiles, uptime, "
+                             "inflight and hit rates")
+    c.add_argument("--prom", action="store_true",
+                   help="Prometheus text exposition instead of JSON")
     csub.add_parser("report", help="render the daemon's run report")
     csub.add_parser("shutdown", help="drain the daemon and exit it")
     c = csub.add_parser("brick",
@@ -700,7 +797,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--strip-timing", action="store_true",
                    help="print the canonical timing-stripped JSONL "
                         "instead of the report (CI diffs this)")
+    p.add_argument("--request", default=None, metavar="ID",
+                   help="only the spans of one serve request id "
+                        "(e.g. c3) from a daemon trace")
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("stitch",
+                       help="merge client/server/worker traces into "
+                            "one cross-process trace")
+    p.add_argument("traces", nargs="+",
+                   help="JSONL trace files (sources read from their "
+                        "trace_meta headers, else the file names)")
+    p.add_argument("--out", metavar="FILE",
+                   help="write the stitched JSONL here instead of "
+                        "stdout")
+    p.add_argument("--chrome", metavar="FILE",
+                   help="also write the multi-process Chrome "
+                        "trace-event JSON (one pid per source)")
+    p.add_argument("--strip-timing", action="store_true",
+                   help="emit the canonical timing-stripped form "
+                        "(CI diffs this byte-for-byte)")
+    p.set_defaults(func=cmd_stitch)
+
+    p = sub.add_parser("top",
+                       help="live telemetry dashboard for a running "
+                            "daemon (like top(1))")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, required=True,
+                   help="port the daemon announced")
+    p.add_argument("--timeout", type=float, default=10.0,
+                   help="socket timeout in seconds (default: 10)")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="seconds between polls (default: 2)")
+    p.add_argument("--iterations", type=int, default=0,
+                   help="stop after N refreshes (0 = until Ctrl-C; "
+                        "CI and tests set this)")
+    p.add_argument("--no-clear", action="store_true",
+                   help="do not clear the screen between refreshes "
+                        "(append frames; for logs and dumb terminals)")
+    p.set_defaults(func=cmd_top)
     return parser
 
 
@@ -715,7 +850,12 @@ def main(argv: Optional[Sequence[str]] = None,
     parser = build_parser()
     args = parser.parse_args(argv)
     args._session = session
-    tracer = Tracer() if getattr(args, "trace_out", None) else None
+    # The trace source names this process's side of a cross-process
+    # trace; ``repro stitch`` reads it back from the trace_meta header
+    # so client and server files merge without manual labelling.
+    trace_sources = {"client": "client", "serve": "server"}
+    tracer = (Tracer(source=trace_sources.get(args.command, "cli"))
+              if getattr(args, "trace_out", None) else None)
     metrics = (MetricsRegistry()
                if getattr(args, "metrics", False) else None)
     args._tracer = tracer
@@ -747,7 +887,8 @@ def main(argv: Optional[Sequence[str]] = None,
                                         executor_stats())
         if tracer is not None:
             write_trace_jsonl(tracer.spans, args.trace_out,
-                              metrics=snapshot)
+                              metrics=snapshot,
+                              source=tracer.source or None)
             print(f"wrote trace {args.trace_out}", file=sys.stderr)
         if metrics is not None:
             rendered = render_snapshot(snapshot)

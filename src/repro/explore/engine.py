@@ -39,7 +39,7 @@ from ..errors import ExplorationError
 from ..obs.trace import maybe_span
 from ..perf.characterize import _executor_fault_sink
 from ..perf.fingerprint import cache_key
-from ..perf.parallel import parallel_imap
+from ..perf.parallel import TraceTap, parallel_imap
 from ..perf.timer import Stopwatch
 from ..session import FaultEvent, Session
 from .lattice import Lattice, SweepSpace
@@ -493,10 +493,13 @@ class SweepEngine:
                       self.objectives, self.top_k, keep_going)
                      for index in todo]
             on_fault = _executor_fault_sink(session.sink)
+            tap = (TraceTap.for_span(session.tracer, span)
+                   if span is not None else None)
             for _, shard in parallel_imap(_shard_worker, tasks,
                                           jobs=session.jobs,
                                           pool=session.pool,
-                                          on_fault=on_fault):
+                                          on_fault=on_fault,
+                                          trace=tap):
                 done += 1
                 if cache is not None:
                     cache.put(shard_checkpoint_key(

@@ -22,6 +22,11 @@ The measurement substrate behind every performance claim in the repo:
 ``repro.obs.profile``
     :func:`maybe_profile` — opt-in cProfile capture per pipeline stage
     (``--profile-out DIR``).
+``repro.obs.telemetry``
+    :class:`Telemetry` — the serve daemon's live plane: per-request-type
+    log-bucketed latency histograms (bounded memory), uptime/inflight,
+    a Prometheus text renderer, a rotating JSONL ops log, and the
+    ``repro top`` dashboard renderer.
 """
 
 from .export import (
@@ -29,8 +34,12 @@ from .export import (
     chrome_trace,
     read_trace_jsonl,
     span_record,
+    stitch_traces,
+    stitched_chrome_trace,
+    stitched_lines,
     strip_timing,
     trace_lines,
+    trace_source,
     write_chrome_trace,
     write_trace_jsonl,
 )
@@ -44,15 +53,36 @@ from .metrics import (
 )
 from .profile import maybe_profile
 from .report import render_report, stage_breakdown
-from .trace import Span, SpanEvent, Tracer, aggregate_spans, maybe_span
+from .telemetry import (
+    LogBucketHistogram,
+    OpsLog,
+    Telemetry,
+    render_dashboard,
+    render_prometheus,
+)
+from .trace import (
+    KIND_REQUEST,
+    KIND_TASK,
+    Span,
+    SpanEvent,
+    TraceContext,
+    Tracer,
+    aggregate_spans,
+    maybe_span,
+    mint_trace_id,
+)
 
 __all__ = [
     "Span", "SpanEvent", "Tracer", "aggregate_spans", "maybe_span",
+    "TraceContext", "mint_trace_id", "KIND_REQUEST", "KIND_TASK",
+    "LogBucketHistogram", "OpsLog", "Telemetry",
+    "render_dashboard", "render_prometheus",
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "collect_snapshot", "render_snapshot",
     "TIMING_FIELDS", "chrome_trace", "read_trace_jsonl", "span_record",
-    "strip_timing", "trace_lines", "write_chrome_trace",
-    "write_trace_jsonl",
+    "stitch_traces", "stitched_chrome_trace", "stitched_lines",
+    "strip_timing", "trace_lines", "trace_source",
+    "write_chrome_trace", "write_trace_jsonl",
     "maybe_profile",
     "render_report", "stage_breakdown",
 ]

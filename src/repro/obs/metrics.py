@@ -23,8 +23,33 @@ embeds in traces, and the benchmarks write into their JSON artifacts.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
+
+#: Log-spaced bucket resolution shared by every latency histogram in
+#: the repo (:class:`Histogram` here and the serve daemon's
+#: :class:`~repro.obs.telemetry.LogBucketHistogram`).  Ten buckets per
+#: decade keeps quantile error under ~12% while the whole span from
+#: 100 ns to 10 000 s fits in at most ``BUCKET_MAX - BUCKET_MIN + 1``
+#: integer keys — bounded memory no matter how long a daemon runs.
+BUCKETS_PER_DECADE = 10
+BUCKET_MIN = -7 * BUCKETS_PER_DECADE   # 1e-7 s = 100 ns
+BUCKET_MAX = 4 * BUCKETS_PER_DECADE    # 1e4 s
+
+
+def bucket_index(value: float) -> int:
+    """Map a (seconds) observation to its log-spaced bucket key."""
+    if value <= 0.0:
+        return BUCKET_MIN
+    index = math.floor(math.log10(value) * BUCKETS_PER_DECADE)
+    return max(BUCKET_MIN, min(BUCKET_MAX, index))
+
+
+def bucket_bounds(index: int) -> Tuple[float, float]:
+    """Inclusive-lower / exclusive-upper bounds of a bucket key."""
+    return (10.0 ** (index / BUCKETS_PER_DECADE),
+            10.0 ** ((index + 1) / BUCKETS_PER_DECADE))
 
 
 @dataclass
@@ -51,23 +76,54 @@ class Gauge:
 
 @dataclass
 class Histogram:
-    """Streaming summary of observed values (no buckets needed here)."""
+    """Streaming summary of observed values with bounded memory.
+
+    Holds count/total/min/max plus a *sparse* dict of log-spaced
+    bucket counts (:func:`bucket_index` keys) — never a raw-value
+    list, so a histogram inside a long-lived daemon stays at most
+    ``BUCKET_MAX - BUCKET_MIN + 1`` entries regardless of how many
+    observations it absorbs.  :func:`collect_snapshot` intentionally
+    does not expose the buckets (its histogram dict shape is golden
+    across PRs); :meth:`quantile` is how percentiles get out.
+    """
 
     name: str
     count: int = 0
     total: float = 0.0
     min: Optional[float] = None
     max: Optional[float] = None
+    buckets: Dict[int, int] = field(default_factory=dict)
 
     def observe(self, value: float) -> None:
         self.count += 1
         self.total += value
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
+        key = bucket_index(value)
+        self.buckets[key] = self.buckets.get(key, 0) + 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from the bucket counts.
+
+        Returns the geometric midpoint of the bucket holding the
+        ``q``-th observation, clamped into the exact observed
+        ``[min, max]`` range so p0/p100 are never off by a bucket.
+        """
+        if not self.count:
+            return 0.0
+        rank = max(1, math.ceil(q * self.count))
+        seen = 0
+        for key in sorted(self.buckets):
+            seen += self.buckets[key]
+            if seen >= rank:
+                lo, hi = bucket_bounds(key)
+                mid = math.sqrt(lo * hi)
+                return max(self.min or 0.0, min(self.max or mid, mid))
+        return self.max if self.max is not None else 0.0
 
 
 @dataclass

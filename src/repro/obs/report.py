@@ -49,6 +49,24 @@ def stage_breakdown(records: Sequence[Dict[str, Any]],
             for name, calls, total in rows]
 
 
+def filter_request_records(records: Sequence[Dict[str, Any]],
+                           request_id: str) -> List[Dict[str, Any]]:
+    """Only the spans tagged with one serve ``request_id`` (plus any
+    non-span records).  Every span a daemon grafts for a request
+    carries the tag, so this pulls one request's complete tree out of
+    a busy server's trace — ``repro report trace.jsonl --request c3``.
+    """
+    kept: List[Dict[str, Any]] = []
+    for record in records:
+        if record.get("type") != "span":
+            kept.append(record)
+            continue
+        attrs = record.get("attrs") or {}
+        if attrs.get("request_id") == request_id:
+            kept.append(record)
+    return kept
+
+
 def _table(rows: List[Tuple[str, int, float, float]]) -> List[str]:
     width = max([len(name) for name, _, _, _ in rows] + [len("stage")])
     lines = [f"  {'stage'.ljust(width)} {'calls':>5s} "

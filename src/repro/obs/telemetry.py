@@ -1,0 +1,332 @@
+"""Live telemetry plane for the serve daemon.
+
+Long-lived servers need observability that batch runs don't: latency
+*percentiles* per request type (a mean hides the tail), uptime and
+inflight gauges, a scrape-able text format, and an ops log that can't
+fill the disk.  This module is that plane:
+
+:class:`LogBucketHistogram`
+    A :class:`~repro.obs.metrics.Histogram` that serializes its sparse
+    log-spaced bucket counts and merges with peers — bounded memory
+    (at most ~110 integer keys) no matter how many observations a
+    daemon absorbs.  No raw-value lists, ever.
+:class:`Telemetry`
+    Lock-guarded per-request-type aggregation (count/ok/error/
+    coalesced + latency histogram) plus uptime and inflight gauges.
+    ``snapshot()`` is the JSON body of the ``telemetry`` protocol verb.
+:class:`OpsLog`
+    Rolling JSONL operations log with size-based rotation
+    (``path`` -> ``path.1`` -> ... -> dropped).
+:func:`render_prometheus`
+    Prometheus text exposition of a telemetry reply
+    (``repro client telemetry --prom``).
+:func:`render_dashboard`
+    The one-screen ``repro top`` view: request rates, p50/p95/p99,
+    cache hit ratio, active sweeps/signoffs.
+
+Everything here is pure stdlib and side-effect free except
+:class:`OpsLog`; the serve layer owns the wiring.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from .metrics import Histogram, bucket_bounds  # noqa: F401  (re-export)
+
+#: Quantiles every snapshot/renderer reports, in order.
+QUANTILES = (0.5, 0.95, 0.99)
+
+
+@dataclass
+class LogBucketHistogram(Histogram):
+    """A mergeable, serializable :class:`Histogram` (no name needed).
+
+    Inherits the bounded sparse-bucket ``observe``/``quantile`` core
+    and adds the wire format the telemetry verb ships: plain dicts
+    with stringified bucket keys (JSON objects key on strings).
+    """
+
+    name: str = ""
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "total_s": self.total,
+            "min_s": self.min if self.min is not None else 0.0,
+            "max_s": self.max if self.max is not None else 0.0,
+            "buckets": {str(key): self.buckets[key]
+                        for key in sorted(self.buckets)},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "LogBucketHistogram":
+        hist = cls(count=int(data.get("count", 0)),
+                   total=float(data.get("total_s", 0.0)))
+        if hist.count:
+            hist.min = float(data.get("min_s", 0.0))
+            hist.max = float(data.get("max_s", 0.0))
+        hist.buckets = {int(key): int(value) for key, value in
+                        data.get("buckets", {}).items()}
+        return hist
+
+    def merge(self, other: "LogBucketHistogram") -> None:
+        self.count += other.count
+        self.total += other.total
+        for bound in ("min", "max"):
+            mine, theirs = getattr(self, bound), getattr(other, bound)
+            if theirs is None:
+                continue
+            if mine is None:
+                setattr(self, bound, theirs)
+            else:
+                pick = min if bound == "min" else max
+                setattr(self, bound, pick(mine, theirs))
+        for key, value in other.buckets.items():
+            self.buckets[key] = self.buckets.get(key, 0) + value
+
+
+class Telemetry:
+    """Thread-safe per-request-type latency/outcome aggregation.
+
+    The serve daemon's compute threads call :meth:`begin`/:meth:`end`
+    around each request and :meth:`record` once the outcome is known;
+    any thread may take a :meth:`snapshot` concurrently.  One lock
+    guards everything — the critical sections are tiny (dict bumps),
+    so contention is negligible next to request compute time.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic):
+        self._lock = threading.Lock()
+        self._clock = clock
+        self._start = clock()
+        self._inflight = 0
+        self._inflight_types: Dict[str, int] = {}
+        self._types: Dict[str, Dict[str, Any]] = {}
+
+    def begin(self, rtype: Optional[str] = None) -> None:
+        with self._lock:
+            self._inflight += 1
+            if rtype is not None:
+                self._inflight_types[rtype] = \
+                    self._inflight_types.get(rtype, 0) + 1
+
+    def end(self, rtype: Optional[str] = None) -> None:
+        with self._lock:
+            self._inflight = max(0, self._inflight - 1)
+            if rtype is not None:
+                left = self._inflight_types.get(rtype, 0) - 1
+                if left > 0:
+                    self._inflight_types[rtype] = left
+                else:
+                    self._inflight_types.pop(rtype, None)
+
+    def record(self, rtype: str, dur_s: float, *,
+               ok: bool = True, coalesced: bool = False) -> None:
+        with self._lock:
+            entry = self._types.get(rtype)
+            if entry is None:
+                entry = self._types[rtype] = {
+                    "hist": LogBucketHistogram(),
+                    "ok": 0, "errors": 0, "coalesced": 0}
+            entry["hist"].observe(dur_s)
+            entry["ok" if ok else "errors"] += 1
+            if coalesced:
+                entry["coalesced"] += 1
+
+    @property
+    def uptime_s(self) -> float:
+        return self._clock() - self._start
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Sorted, JSON-ready view — the ``telemetry`` verb's core."""
+        with self._lock:
+            uptime = max(self._clock() - self._start, 1e-9)
+            requests: Dict[str, Any] = {}
+            for rtype in sorted(self._types):
+                entry = self._types[rtype]
+                hist: LogBucketHistogram = entry["hist"]
+                requests[rtype] = {
+                    "count": hist.count,
+                    "ok": entry["ok"],
+                    "errors": entry["errors"],
+                    "coalesced": entry["coalesced"],
+                    "rate_per_s": hist.count / uptime,
+                    "mean_s": hist.mean,
+                    **{f"p{int(q * 100)}_s": hist.quantile(q)
+                       for q in QUANTILES},
+                    "hist": hist.as_dict(),
+                }
+            return {"uptime_s": uptime,
+                    "inflight": self._inflight,
+                    "inflight_by_type": dict(sorted(
+                        self._inflight_types.items())),
+                    "requests": requests}
+
+
+@dataclass
+class OpsLog:
+    """Append-only JSONL ops log with size-based rotation.
+
+    When the active file would exceed ``max_bytes`` the files shift
+    ``path`` -> ``path.1`` -> ... -> ``path.<backups>`` and the oldest
+    drops — a daemon can log every request forever in bounded disk.
+    Thread-safe; each record lands as one ``\\n``-terminated line.
+    """
+
+    path: str
+    max_bytes: int = 1_000_000
+    backups: int = 3
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False)
+
+    def write(self, record: Dict[str, Any]) -> None:
+        line = json.dumps(record, sort_keys=True) + "\n"
+        data = line.encode("utf-8")
+        with self._lock:
+            try:
+                size = os.path.getsize(self.path)
+            except OSError:
+                size = 0
+            if size and size + len(data) > self.max_bytes:
+                self._rotate()
+            with open(self.path, "ab") as handle:
+                handle.write(data)
+
+    def _rotate(self) -> None:
+        oldest = f"{self.path}.{self.backups}"
+        if os.path.exists(oldest):
+            os.remove(oldest)
+        for index in range(self.backups - 1, 0, -1):
+            src = f"{self.path}.{index}"
+            if os.path.exists(src):
+                os.replace(src, f"{self.path}.{index + 1}")
+        if self.backups >= 1 and os.path.exists(self.path):
+            os.replace(self.path, f"{self.path}.1")
+
+
+def render_prometheus(reply: Dict[str, Any]) -> str:
+    """Prometheus text exposition (v0.0.4) of a ``telemetry`` reply.
+
+    Latency histograms render as native prometheus summaries
+    (quantile-labelled gauges + ``_sum``/``_count``) — the buckets are
+    log-spaced and non-cumulative, so a summary is the honest mapping.
+    """
+    lines: List[str] = []
+
+    def metric(name: str, kind: str, help_text: str,
+               samples: List[str]) -> None:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        lines.extend(samples)
+
+    metric("repro_uptime_seconds", "gauge", "Daemon uptime.",
+           [f"repro_uptime_seconds {reply.get('uptime_s', 0.0):.6f}"])
+    metric("repro_inflight_requests", "gauge",
+           "Requests currently executing.",
+           [f"repro_inflight_requests {reply.get('inflight', 0)}"])
+    requests = reply.get("requests", {})
+    totals = []
+    for rtype in sorted(requests):
+        entry = requests[rtype]
+        for outcome in ("ok", "errors"):
+            totals.append(
+                f'repro_requests_total{{type="{rtype}",'
+                f'outcome="{outcome}"}} {entry.get(outcome, 0)}')
+    metric("repro_requests_total", "counter",
+           "Requests served, by type and outcome.", totals)
+    latency = []
+    for rtype in sorted(requests):
+        entry = requests[rtype]
+        for q in QUANTILES:
+            latency.append(
+                f'repro_request_latency_seconds{{type="{rtype}",'
+                f'quantile="{q}"}} '
+                f"{entry.get(f'p{int(q * 100)}_s', 0.0):.6f}")
+        hist = entry.get("hist", {})
+        latency.append(
+            f'repro_request_latency_seconds_sum{{type="{rtype}"}} '
+            f"{hist.get('total_s', 0.0):.6f}")
+        latency.append(
+            f'repro_request_latency_seconds_count{{type="{rtype}"}} '
+            f"{hist.get('count', 0)}")
+    metric("repro_request_latency_seconds", "summary",
+           "Request latency quantiles, by type.", latency)
+    coalesce = reply.get("coalesce") or {}
+    metric("repro_coalesce_hit_ratio", "gauge",
+           "Share of coalesceable requests served from in-flight "
+           "computations.",
+           [f"repro_coalesce_hit_ratio "
+            f"{coalesce.get('hit_rate', 0.0):.6f}"])
+    cache = reply.get("cache") or {}
+    metric("repro_cache_hit_ratio", "gauge",
+           "Characterization cache hit ratio.",
+           [f"repro_cache_hit_ratio {cache.get('hit_rate', 0.0):.6f}"])
+    active = reply.get("active") or {}
+    metric("repro_active_artifacts", "gauge",
+           "Artifacts retained, by kind.",
+           [f'repro_active_artifacts{{kind="{kind}"}} '
+            f"{active[kind]}" for kind in sorted(active)])
+    return "\n".join(lines) + "\n"
+
+
+def _fmt_ms(seconds: float) -> str:
+    ms = seconds * 1e3
+    if ms >= 1000:
+        return f"{ms / 1e3:.2f}s"
+    return f"{ms:.1f}ms" if ms >= 0.1 else f"{ms * 1e3:.0f}us"
+
+
+def render_dashboard(reply: Dict[str, Any],
+                     prev: Optional[Dict[str, Any]] = None,
+                     interval_s: float = 2.0) -> str:
+    """One refresh of the ``repro top`` screen (pure text, no cursor).
+
+    ``prev`` is the previous poll's reply; when present, per-type
+    request rates are the *delta* over ``interval_s`` (what's moving
+    now) instead of the lifetime average.
+    """
+    uptime = reply.get("uptime_s", 0.0)
+    coalesce = reply.get("coalesce") or {}
+    cache = reply.get("cache") or {}
+    active = reply.get("active") or {}
+    lines = [
+        "repro top — serve daemon telemetry",
+        (f"uptime {uptime:8.1f}s   inflight {reply.get('inflight', 0)}"
+         f"   coalesce hit {coalesce.get('hit_rate', 0.0) * 100:5.1f}%"
+         f"   cache hit {cache.get('hit_rate', 0.0) * 100:5.1f}%"),
+    ]
+    if active:
+        lines.append("active: " + "  ".join(
+            f"{kind}={active[kind]}" for kind in sorted(active)))
+    lines.append("")
+    header = (f"{'type':<13} {'count':>8} {'rate/s':>9} {'p50':>8}"
+              f" {'p95':>8} {'p99':>8} {'mean':>8} {'err':>5}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    requests = reply.get("requests", {})
+    prev_requests = (prev or {}).get("requests", {})
+    for rtype in sorted(requests):
+        entry = requests[rtype]
+        count = entry.get("count", 0)
+        prev_count = prev_requests.get(rtype, {}).get("count")
+        if prev_count is not None and interval_s > 0:
+            rate = max(0, count - prev_count) / interval_s
+        else:
+            rate = entry.get("rate_per_s", 0.0)
+        rate_text = f"{rate:.2f}" if rate < 1e4 else f"{rate:.3g}"
+        lines.append(
+            f"{rtype:<13} {count:>8} {rate_text:>9}"
+            f" {_fmt_ms(entry.get('p50_s', 0.0)):>8}"
+            f" {_fmt_ms(entry.get('p95_s', 0.0)):>8}"
+            f" {_fmt_ms(entry.get('p99_s', 0.0)):>8}"
+            f" {_fmt_ms(entry.get('mean_s', 0.0)):>8}"
+            f" {entry.get('errors', 0):>5}")
+    if not requests:
+        lines.append("(no requests served yet)")
+    return "\n".join(lines)

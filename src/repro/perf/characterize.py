@@ -31,8 +31,8 @@ from ..obs.trace import Tracer, maybe_span
 from ..tech.technology import Technology
 from .cache import CharacterizationCache, resolve_cache
 from .fingerprint import cache_key
-from .parallel import TaskFailure, WorkerPool, chunk_slices, \
-    parallel_map, resolve_jobs
+from .parallel import TaskFailure, TraceTap, WorkerPool, \
+    chunk_slices, parallel_map, resolve_jobs
 
 # --- single-artifact memoizations ----------------------------------------
 
@@ -255,11 +255,13 @@ def _batched(points: Sequence[Tuple[BrickSpec, int]], tech: Technology,
                                n_cold=len(pending))
         if pending:
             with maybe_span(tracer, "parallel_map", kind="task_group",
-                            tasks=len(pending), jobs=jobs):
+                            tasks=len(pending), jobs=jobs) as group:
                 computed = parallel_map(
                     worker, [task for _, task in pending], jobs=jobs,
                     return_errors=keep_going,
-                    on_fault=_executor_fault_sink(sink), pool=pool)
+                    on_fault=_executor_fault_sink(sink), pool=pool,
+                    trace=(TraceTap.for_span(tracer, group)
+                           if group is not None else None))
             for (key, _), value in zip(pending, computed):
                 if not isinstance(value, TaskFailure):
                     cache.put(key, value)
@@ -385,14 +387,16 @@ def execute_estimates(plan: EstimatePlan, tech: Technology,
         with maybe_span(tracer, "parallel_map", kind="task_group",
                         tasks=len(chunks), jobs=n_chunks,
                         points=len(pending),
-                        batch_fingerprint=batch_fp):
+                        batch_fingerprint=batch_fp) as group:
             started = time.perf_counter()
             chunk_results = parallel_map(
                 _estimate_batch_worker,
                 [(tuple(pending[i][1] for i in chunk), tech,
                   keep_going) for chunk in chunks],
                 jobs=n_chunks, return_errors=keep_going,
-                on_fault=_executor_fault_sink(sink), pool=pool)
+                on_fault=_executor_fault_sink(sink), pool=pool,
+                trace=(TraceTap.for_span(tracer, group)
+                       if group is not None else None))
             elapsed = time.perf_counter() - started
         flat: List[Any] = []
         for chunk, value in zip(chunks, chunk_results):

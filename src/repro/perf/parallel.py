@@ -150,6 +150,86 @@ def reset_executor_stats() -> ExecutorStats:
 #: instead.
 FaultCallback = Callable[[str, int, str], None]
 
+
+@dataclass
+class TraceTap:
+    """Carries a trace context into worker tasks and back out again.
+
+    ``context`` (a plain :meth:`~repro.obs.trace.TraceContext.to_dict`
+    dict — picklable) ships with every task; each execution builds a
+    worker-side tracer, adopts the context, and runs under a
+    ``task:<fn>`` span.  The spans ride home inside the return value
+    and are :meth:`~repro.obs.trace.Tracer.graft`-ed into ``tracer``
+    under span id ``under`` with ``keep_remote=False`` (the local
+    parent link replaces the remote ref) — so pool-side work stitches
+    into the caller's tree as if it had run in-process.  Grafting
+    happens in result order: index order for :func:`parallel_map` and
+    the serial tiers, completion order for a pooled
+    :func:`parallel_imap` (matching the span order such a stream
+    already produces).
+    """
+
+    tracer: Any
+    context: Dict[str, str]
+    under: Optional[int] = None
+
+    @classmethod
+    def for_span(cls, tracer: Any, span: Any) -> "TraceTap":
+        """Tap parenting worker spans under an open ``span``."""
+        return cls(tracer=tracer,
+                   context=tracer.task_context(span).to_dict(),
+                   under=span.span_id)
+
+
+@dataclass
+class _TracedResult:
+    """Worker return value plus the spans recorded while computing it."""
+
+    value: Any
+    spans: List[Any]
+
+
+class _TracedTask:
+    """Picklable wrapper running ``fn`` under a worker-side tracer.
+
+    Used on every execution tier (pool rounds, serial fallback, plain
+    serial path) so traced runs produce the same span shape no matter
+    where a task lands; a task that raises contributes no spans — its
+    retry or serial re-execution records the surviving attempt.
+    """
+
+    def __init__(self, fn: Callable[..., Any],
+                 context: Dict[str, str]) -> None:
+        self.fn = fn
+        self.context = context
+        self.name = f"task:{getattr(fn, '__name__', 'task')}"
+
+    def __call__(self, task: Any) -> _TracedResult:
+        from ..obs.trace import KIND_TASK, TraceContext, Tracer
+        tracer = Tracer(source="worker")
+        tracer.adopt(TraceContext.from_dict(self.context))
+        span = tracer.open(self.name, kind=KIND_TASK)
+        value = self.fn(task)
+        tracer.close(span)
+        return _TracedResult(value=value, spans=tracer.spans)
+
+
+def _absorb(value: Any, trace: TraceTap) -> Any:
+    """Graft a :class:`_TracedResult`'s spans home; pass through
+    :class:`TaskFailure` placeholders (and ``None``) untouched."""
+    if isinstance(value, _TracedResult):
+        trace.tracer.graft(value.spans, under=trace.under,
+                           keep_remote=False)
+        return value.value
+    return value
+
+
+def _absorb_all(results: List[Any],
+                trace: Optional[TraceTap]) -> List[Any]:
+    if trace is None:
+        return results
+    return [_absorb(value, trace) for value in results]
+
 _default_policy = ExecutorPolicy()
 
 
@@ -327,7 +407,8 @@ def parallel_map(fn: Callable[[T], R], tasks: Sequence[T],
                  policy: Optional[ExecutorPolicy] = None,
                  return_errors: bool = False,
                  on_fault: Optional[FaultCallback] = None,
-                 pool: Optional[WorkerPool] = None) -> List[Any]:
+                 pool: Optional[WorkerPool] = None,
+                 trace: Optional[TraceTap] = None) -> List[Any]:
     """``[fn(t) for t in tasks]`` fanned over ``jobs`` processes.
 
     Results are returned in task order.  ``fn`` and every task must be
@@ -360,7 +441,14 @@ def parallel_map(fn: Callable[[T], R], tasks: Sequence[T],
     rather than abandoned, so the stranded-worker leak of repeated
     cold pools cannot occur; without ``pool`` the historical
     one-pool-per-call behavior is preserved exactly.
+
+    ``trace`` (a :class:`TraceTap`) threads a serializable trace
+    context into every task and grafts the worker-side spans back into
+    the caller's tracer — the cross-process half of one end-to-end
+    request trace.
     """
+    if trace is not None:
+        fn = _TracedTask(fn, trace.context)
     policy = policy if policy is not None else _default_policy
     n = len(tasks)
     results: List[Any] = [None] * n
@@ -370,14 +458,14 @@ def parallel_map(fn: Callable[[T], R], tasks: Sequence[T],
     if jobs <= 1 or n <= 1:
         _serial_round(fn, tasks, pending, results, return_errors,
                       wrap=False)
-        return results
+        return _absorb_all(results, trace)
     try:
         from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
         from concurrent.futures import TimeoutError as FutureTimeout
     except ImportError:
         _serial_round(fn, tasks, pending, results, return_errors,
                       wrap=False)
-        return results
+        return _absorb_all(results, trace)
 
     rounds = 1 + policy.max_retries
     used_pool = False
@@ -449,7 +537,7 @@ def parallel_map(fn: Callable[[T], R], tasks: Sequence[T],
     if pending:
         _serial_round(fn, tasks, pending, results, return_errors,
                       wrap=used_pool)
-    return results
+    return _absorb_all(results, trace)
 
 
 def _serial_iter(fn: Callable[[T], R], tasks: Sequence[T],
@@ -481,10 +569,14 @@ def parallel_imap(fn: Callable[[T], R], tasks: Sequence[T],
                   policy: Optional[ExecutorPolicy] = None,
                   return_errors: bool = False,
                   on_fault: Optional[FaultCallback] = None,
-                  pool: Optional[WorkerPool] = None
+                  pool: Optional[WorkerPool] = None,
+                  trace: Optional[TraceTap] = None
                   ) -> Iterator[Tuple[int, Any]]:
     """Streaming :func:`parallel_map`: yield ``(index, result)`` pairs
     as tasks *complete* instead of one ordered list at the end.
+
+    ``trace`` follows :func:`parallel_map`: worker-side spans graft
+    into the caller's tracer as each result is yielded.
 
     This is the work-stealing shape the sharded design-space explorer
     consumes — each completed shard is checkpointed and folded into the
@@ -503,6 +595,24 @@ def parallel_imap(fn: Callable[[T], R], tasks: Sequence[T],
     when nothing finishes within it, every still-pending task is
     treated as timed out and recovered serially.
     """
+    stream = _imap_core(
+        fn if trace is None else _TracedTask(fn, trace.context),
+        tasks, jobs=jobs, policy=policy, return_errors=return_errors,
+        on_fault=on_fault, pool=pool)
+    if trace is None:
+        yield from stream
+        return
+    for index, value in stream:
+        yield index, _absorb(value, trace)
+
+
+def _imap_core(fn: Callable[[T], Any], tasks: Sequence[T],
+               jobs: int = 1,
+               policy: Optional[ExecutorPolicy] = None,
+               return_errors: bool = False,
+               on_fault: Optional[FaultCallback] = None,
+               pool: Optional[WorkerPool] = None
+               ) -> Iterator[Tuple[int, Any]]:
     policy = policy if policy is not None else _default_policy
     n = len(tasks)
     jobs = resolve_jobs(jobs, n_tasks=n)

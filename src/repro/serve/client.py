@@ -50,13 +50,19 @@ class ServeClient:
                  timeout_s: float = 120.0,
                  busy_retries: int = DEFAULT_BUSY_RETRIES,
                  connect_retries: int = DEFAULT_CONNECT_RETRIES,
-                 connect_backoff_s: float = CONNECT_BACKOFF_S) -> None:
+                 connect_backoff_s: float = CONNECT_BACKOFF_S,
+                 tracer=None) -> None:
         self.host = host
         self.port = port
         self.timeout_s = timeout_s
         self.busy_retries = busy_retries
         self.connect_retries = max(1, connect_retries)
         self.connect_backoff_s = connect_backoff_s
+        #: Optional :class:`~repro.obs.trace.Tracer`: when set, every
+        #: request runs under a ``request:<type>`` span whose context
+        #: rides the frame's ``trace`` field — the server roots its
+        #: spans under it, so the two traces stitch into one tree.
+        self.tracer = tracer
         self._sock: Optional[socket.socket] = None
         self._rfile = None
         self._counter = 0
@@ -153,12 +159,31 @@ class ServeClient:
         error reply raises :class:`~repro.errors.ServeError` with the
         wire code attached as ``exc.code``.
         """
+        if self.tracer is None:
+            return self._request_inner(rtype, params, span=None)
+        span = self.tracer.open(f"request:{rtype}", kind="request")
+        ok = False
+        try:
+            result = self._request_inner(rtype, params, span)
+            ok = True
+            return result
+        finally:
+            self.tracer.close(span, ok=ok)
+
+    def _request_inner(self, rtype: str,
+                       params: Optional[Dict[str, Any]],
+                       span) -> Dict[str, Any]:
         attempts = 0
         while True:
             request_id = self._next_id()
-            reply = self._roundtrip({
+            frame = {
                 "v": PROTOCOL_VERSION, "id": request_id,
-                "type": rtype, "params": params or {}})
+                "type": rtype, "params": params or {}}
+            if span is not None:
+                span.attrs["request_id"] = request_id
+                frame["trace"] = \
+                    self.tracer.task_context(span).to_dict()
+            reply = self._roundtrip(frame)
             if reply.get("id") != request_id:
                 raise ProtocolError(
                     f"reply id {reply.get('id')!r} does not match "
@@ -187,6 +212,11 @@ class ServeClient:
 
     def stats(self) -> Dict[str, Any]:
         return self.request("stats")
+
+    def telemetry(self) -> Dict[str, Any]:
+        """The live telemetry snapshot (latency percentiles, uptime,
+        inflight, coalesce/cache hit rates, active work)."""
+        return self.request("telemetry")
 
     def report(self) -> Dict[str, Any]:
         return self.request("report")

@@ -19,6 +19,7 @@ locally and ``repro client sweep`` printing a fetched artifact emit
 
 from __future__ import annotations
 
+import copy
 import time
 from collections import deque
 from typing import Any, Dict, List, Optional, Tuple
@@ -31,6 +32,8 @@ from ..explore.sweep import SweepResult
 from ..obs.export import span_record
 from ..obs.metrics import MetricsRegistry
 from ..obs.report import render_report
+from ..obs.telemetry import OpsLog, Telemetry
+from ..obs.trace import KIND_REQUEST, TraceContext, Tracer
 from ..perf.characterize import cached_compile, cached_estimate
 from ..perf.fingerprint import cache_key
 from ..session import Session
@@ -56,13 +59,25 @@ class ServeContext:
     def __init__(self, session: Session,
                  store: Optional[ArtifactStore] = None,
                  coalescer: Optional[RequestCoalescer] = None,
-                 request_log_size: int = 128) -> None:
+                 request_log_size: int = 128,
+                 telemetry: Optional[Telemetry] = None,
+                 ops_log: Optional[OpsLog] = None) -> None:
         if session.metrics is None:
             session.metrics = MetricsRegistry()
         self.session = session
+        #: The daemon's long-lived session.  ``session`` may be a
+        #: per-request :meth:`with_session` view; handlers that render
+        #: the *accumulated* trace read this one.
+        self.daemon_session = session
         self.store = store if store is not None else ArtifactStore()
         self.coalescer = (coalescer if coalescer is not None
                           else RequestCoalescer())
+        #: The live telemetry plane: per-type latency histograms,
+        #: uptime, inflight — what the ``telemetry`` verb serves.
+        self.telemetry = (telemetry if telemetry is not None
+                          else Telemetry())
+        #: Optional rotating JSONL ops log (one line per request).
+        self.ops_log = ops_log
         #: Most recent per-request stats entries, oldest first.
         self.request_log: "deque[Dict[str, Any]]" = deque(
             maxlen=request_log_size)
@@ -72,6 +87,18 @@ class ServeContext:
         #: instead of appearing hung.
         self.sweeps: Dict[str, Dict[str, Any]] = {}
         self._sweeps_cap = 64
+
+    def with_session(self, session: Session) -> "ServeContext":
+        """A shallow view of this context over a different session.
+
+        Every store (artifacts, coalescer, telemetry, request log,
+        sweeps) is *shared* — only the session differs.  This is how
+        one request runs against a per-request tracer while all
+        durable state stays in the daemon's context.
+        """
+        view = copy.copy(self)
+        view.session = session
+        return view
 
     def note_sweep_progress(self, fingerprint: str,
                             entry: Dict[str, Any]) -> None:
@@ -110,6 +137,10 @@ class ServeContext:
                                 else None),
         }
         self.request_log.append(entry)
+        self.telemetry.record(request.type, wall_clock_s, ok=ok,
+                              coalesced=coalesced)
+        if self.ops_log is not None:
+            self.ops_log.write(entry)
         metrics = self.session.metrics
         metrics.counter("serve.requests").inc()
         metrics.counter(f"serve.requests.{request.type}").inc()
@@ -557,7 +588,7 @@ def handle_report(ctx: ServeContext, request: Request) -> Dict[str, Any]:
     """The daemon's run report: its accumulated trace spans plus the
     request-tagged metrics snapshot, rendered by the same
     :func:`~repro.obs.report.render_report` the CLI uses."""
-    session = ctx.session
+    session = ctx.daemon_session
     records: List[Dict[str, Any]] = []
     if session.tracer is not None:
         records = [span_record(span) for span in
@@ -584,6 +615,32 @@ def handle_stats(ctx: ServeContext, request: Request) -> Dict[str, Any]:
     }
 
 
+def handle_telemetry(ctx: ServeContext,
+                     request: Request) -> Dict[str, Any]:
+    """The live telemetry plane: per-type latency percentiles plus
+    uptime, inflight, coalesce hit rate, cache hit rate and active
+    work — everything ``repro top`` and the Prometheus renderer need,
+    in one cheap (no pricing, no pickling) reply."""
+    reply = ctx.telemetry.snapshot()
+    coalesce = ctx.coalescer.stats.as_dict()
+    shared = coalesce.get("computed", 0) + coalesce.get("coalesced", 0)
+    coalesce["hit_rate"] = (coalesce.get("coalesced", 0) / shared
+                            if shared else 0.0)
+    reply["coalesce"] = coalesce
+    cache_stats = ctx.session.cache.stats.as_dict()
+    reply["cache"] = {"hit_rate": cache_stats.get("hit_rate", 0.0)}
+    running_sweeps = sum(1 for entry in ctx.sweeps.values()
+                         if not entry.get("done"))
+    inflight_types = reply.get("inflight_by_type", {})
+    reply["active"] = {
+        "artifacts": len(ctx.store),
+        "signoffs": inflight_types.get("signoff", 0),
+        "sweeps": max(running_sweeps,
+                      inflight_types.get("sweep", 0)),
+    }
+    return reply
+
+
 def handle_fetch(ctx: ServeContext, request: Request) -> Dict[str, Any]:
     """Retrieve a stored artifact by id (``KeyError`` -> ``not_found``)."""
     artifact = _require_str(request.params, "artifact")
@@ -600,6 +657,7 @@ HANDLERS = {
     "signoff": handle_signoff,
     "report": handle_report,
     "stats": handle_stats,
+    "telemetry": handle_telemetry,
     "fetch": handle_fetch,
 }
 
@@ -609,15 +667,40 @@ def dispatch(ctx: ServeContext, request: Request) -> Dict[str, Any]:
 
     This is the synchronous core the server ships off its event loop;
     tests call it directly to exercise handlers without a socket.
+
+    When the daemon traces, each computing request runs against a
+    *fresh* per-request tracer rooted at a ``serve:<type>`` span — a
+    client-sent ``trace`` context is adopted, so the request roots
+    under the client's span once stitched.  The finished request tree
+    is grafted into the daemon tracer with every span tagged
+    ``request_id``, which is how ``repro report --request <id>``
+    filters one request out of a busy server's trace.
     """
     started = time.perf_counter()
     cache_before = ctx.cache_marks()
+    base = ctx.session.tracer
+    rtracer: Optional[Tracer] = None
+    rspan = None
+    if base is not None:
+        rtracer = Tracer(source="server")
+        if request.trace is not None:
+            try:
+                rtracer.adopt(TraceContext.from_dict(request.trace))
+            except ValueError:
+                pass  # malformed context: trace locally, don't fail
+        rspan = rtracer.open(f"serve:{request.type}",
+                             kind=KIND_REQUEST,
+                             request_id=request.id)
+        ctx = ctx.with_session(ctx.session.derive(tracer=rtracer))
     ok = False
     try:
         result = HANDLERS[request.type](ctx, request)
         ok = True
         return result
     finally:
+        if rtracer is not None:
+            rtracer.close(rspan, ok=ok)
+            base.graft(rtracer.spans, request_id=request.id)
         ctx.record_request(request, time.perf_counter() - started,
                            coalesced=False, ok=ok,
                            cache_before=cache_before,

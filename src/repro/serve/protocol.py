@@ -40,7 +40,7 @@ MAX_FRAME_BYTES = 4 * 1024 * 1024
 #: by the server loop itself (graceful drain); the rest dispatch to
 #: :mod:`repro.serve.handlers`.
 REQUEST_TYPES = ("ping", "characterize", "sweep", "yield", "signoff",
-                 "report", "stats", "fetch", "shutdown")
+                 "report", "stats", "telemetry", "fetch", "shutdown")
 
 #: Error codes a response may carry.
 ERROR_CODES = ("bad_request", "unsupported_version", "unknown_type",
@@ -50,11 +50,19 @@ ERROR_CODES = ("bad_request", "unsupported_version", "unknown_type",
 
 @dataclass(frozen=True)
 class Request:
-    """One validated request frame."""
+    """One validated request frame.
+
+    ``trace`` is the optional distributed-tracing context (a
+    :meth:`~repro.obs.trace.TraceContext.to_dict` mapping with
+    ``trace_id`` and ``parent``): when a client sends one, the server
+    roots its request-side spans under the client's span so the two
+    traces stitch into a single tree.
+    """
 
     id: str
     type: str
     params: Dict[str, Any] = field(default_factory=dict)
+    trace: Optional[Dict[str, str]] = None
 
 
 def encode_frame(obj: Dict[str, Any]) -> bytes:
@@ -129,7 +137,14 @@ def parse_request(frame: Dict[str, Any]) -> Request:
     if not isinstance(params, dict):
         raise ProtocolError(
             f"params must be an object, got {type(params).__name__}")
-    return Request(id=request_id, type=rtype, params=params)
+    trace = frame.get("trace")
+    if trace is not None and (
+            not isinstance(trace, dict)
+            or any(not isinstance(v, str) for v in trace.values())):
+        raise ProtocolError(
+            f"trace must be an object of strings, got {trace!r}")
+    return Request(id=request_id, type=rtype, params=params,
+                   trace=trace)
 
 
 def ok_reply(request_id: str, rtype: str,

@@ -59,12 +59,14 @@ class BrickServer:
                  max_inflight: int = 8,
                  compute_threads: int = 8,
                  store: Optional[ArtifactStore] = None,
-                 coalescer: Optional[RequestCoalescer] = None) -> None:
+                 coalescer: Optional[RequestCoalescer] = None,
+                 ops_log=None) -> None:
         if max_inflight < 1:
             raise ServeError(
                 f"max_inflight must be >= 1, got {max_inflight}")
         self.ctx = ServeContext(session, store=store,
-                                coalescer=coalescer)
+                                coalescer=coalescer,
+                                ops_log=ops_log)
         self.host = host
         self.port = port
         self.max_inflight = max_inflight
@@ -253,6 +255,7 @@ class BrickServer:
         started = time.perf_counter()
         marks = ctx.cache_marks()
         ok = False
+        ctx.telemetry.begin(request.type)
         try:
             result = await ctx.coalescer.run(key, compute)
             ok = True
@@ -269,6 +272,7 @@ class BrickServer:
             return error_reply(request.id, "internal",
                                f"{type(exc).__name__}: {exc}")
         finally:
+            ctx.telemetry.end(request.type)
             if coalesced:
                 # The computing request was recorded inside dispatch();
                 # waiters are recorded here so every request shows up
@@ -301,9 +305,9 @@ class BrickServer:
 def serve_forever(session, host: str = "127.0.0.1", port: int = 0,
                   max_inflight: int = 8,
                   ready: Optional[Callable[[BrickServer], None]]
-                  = None) -> None:
+                  = None, ops_log=None) -> None:
     """Blocking convenience wrapper: run one :class:`BrickServer` until
     it is told to shut down (the ``repro serve`` entry point)."""
     server = BrickServer(session, host=host, port=port,
-                         max_inflight=max_inflight)
+                         max_inflight=max_inflight, ops_log=ops_log)
     asyncio.run(server.run(ready=ready))

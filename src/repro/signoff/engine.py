@@ -45,7 +45,7 @@ from ..faults.repair import RepairPlan, apply_repair
 from ..obs.trace import maybe_span
 from ..perf.characterize import _executor_fault_sink, cached_estimate
 from ..perf.fingerprint import cache_key
-from ..perf.parallel import TaskFailure, parallel_imap
+from ..perf.parallel import TaskFailure, TraceTap, parallel_imap
 from ..perf.timer import Stopwatch
 from ..session import FaultEvent, Session
 from ..silicon.variation import VariationModel
@@ -473,10 +473,12 @@ class SignoffEngine:
                           plan.chunks[index][1], plan.stream_key)
                          for index in todo]
                 on_fault = _executor_fault_sink(session.sink)
+                tap = (TraceTap.for_span(session.tracer, span)
+                       if span is not None else None)
                 for position, result in parallel_imap(
                         _chunk_worker, tasks, jobs=session.jobs,
                         pool=session.pool, on_fault=on_fault,
-                        return_errors=keep_going):
+                        return_errors=keep_going, trace=tap):
                     index = todo[position]
                     if isinstance(result, TaskFailure):
                         start, stop = plan.chunks[index]
